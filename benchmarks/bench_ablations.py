@@ -1,0 +1,24 @@
+"""Benchmark: the paper's in-text quantitative claims (DESIGN.md ablation
+index) — architectural claims run instantly, plus the PBW-gain training
+ablation (Sec. III-B's headline +9.4 points at 32-bit streams)."""
+
+from repro.experiments.ablations import (
+    pbw_gain_claim,
+    render_claims,
+    run_all_cheap,
+)
+
+
+def test_architectural_claims(once):
+    claims = once(run_all_cheap)
+    print()
+    print(render_claims(claims, "In-text claims (architectural)"))
+    failed = [c.name for c in claims if not c.holds]
+    assert not failed, failed
+
+
+def test_pbw_gain(once):
+    claim = once(pbw_gain_claim, scale="quick")
+    print()
+    print(render_claims([claim], "PBW accuracy gain (training-based)"))
+    assert claim.holds

@@ -1,0 +1,44 @@
+"""Benchmark: design-space exploration around the paper's ULP point.
+
+DESIGN.md ablation index: the paper fixes its design points by hand; this
+bench sweeps rows x row-width x stream length on the CNN-4 workload and
+checks that the published GEO-ULP geometry (32 rows x 800 products) is
+Pareto-efficient within the swept space — i.e. the paper's choice is not
+dominated by a neighbouring configuration.
+"""
+
+from repro.arch.sweep import pareto_frontier, sweep
+from repro.models.shapes import cnn4_shapes
+from repro.utils.report import Table
+
+
+def test_design_space_pareto(once):
+    points = once(
+        sweep,
+        cnn4_shapes(32),
+        rows_options=(16, 32, 64),
+        row_width_options=(400, 800, 1600),
+        stream_options=((16, 32), (32, 64)),
+    )
+    frontier = pareto_frontier(points)
+
+    table = Table(["design", "area [mm2]", "Fr/s", "Fr/J"],
+                  title="Pareto frontier (CNN-4)")
+    for p in frontier:
+        table.add_row(
+            [p.label, f"{p.area_mm2:.3f}", f"{p.frames_per_second:,.0f}",
+             f"{p.frames_per_joule:,.0f}"]
+        )
+    print()
+    table.print()
+
+    assert frontier
+    # The paper's ULP geometry must appear among the non-dominated points
+    # for at least one of its stream configurations.
+    ulp_points = [
+        p for p in points if p.arch.rows == 32 and p.arch.row_width == 800
+    ]
+    assert any(
+        not any(q.dominates(p) for q in points if q is not p)
+        for p in ulp_points
+    ), "paper's 32x800 ULP geometry is dominated in the swept space"

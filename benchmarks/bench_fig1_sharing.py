@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 1 (accuracy vs sharing, TRNG vs LFSR).
+
+Quick-scale arms at the paper's 32-bit stream point (the full two-length
+grid is available via ``geo-repro fig1``). Prints the paper-vs-measured
+series and asserts the figure's shape claims.
+"""
+
+from repro.experiments import render_fig1, run_fig1
+
+
+def test_fig1_sharing(once):
+    result = once(
+        run_fig1,
+        scale="quick",
+        stream_lengths=(32,),
+        include_mismatch=True,
+        verbose=False,
+    )
+    print()
+    print(render_fig1(result))
+
+    claims = result.claims()
+    # The core mechanism claims must hold even at quick scale.
+    assert claims["lfsr_moderate_beats_unshared_trng@32"]
+    assert claims["extreme_sharing_hurts@32"]
+    assert claims["untrained_extreme_collapses@32"]
+    assert claims["trng_gains_nothing_from_sharing@32"]
+    # The mismatch arm (trained TRNG, validated LFSR) must not benefit
+    # from sharing the way the co-trained arm does.
+    trained = result.accuracy[("lfsr", "moderate", 32)]
+    mismatched = result.mismatch_accuracy[("moderate", 32)]
+    assert trained > mismatched

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 2 (progressive vs normal generation error)
+plus the Sec. II-B network-level worst-case cost."""
+
+from repro.experiments import render_fig2, run_fig2
+
+
+def test_fig2_progressive(once):
+    result = once(
+        run_fig2,
+        scale="quick",
+        stream_lengths=(32, 128),
+        include_network=True,
+        verbose=False,
+    )
+    print()
+    print(render_fig2(result))
+
+    claims = result.claims()
+    assert claims["settles_within_8_cycles@32"]
+    assert claims["progressive_tracks_normal@32"]
+    assert claims["progressive_tracks_normal@128"]
+    assert claims["network_cost_small@32"]
+    assert claims["network_cost_small@128"]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 5 (SC MAC area by accumulation mode)."""
+
+from repro.experiments import render_fig5, run_fig5
+
+
+def test_fig5_area(once):
+    result = once(run_fig5)
+    print()
+    print(render_fig5(result))
+    claims = result.claims()
+    assert all(claims.values()), {k: v for k, v in claims.items() if not v}

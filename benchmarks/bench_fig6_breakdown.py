@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (normalized area/energy/latency for the
+Base -> GEO-GEN -> GEO-GEN-EXEC ladder on SVHN CNN-4, ULP)."""
+
+from repro.experiments import render_fig6, run_fig6
+
+
+def test_fig6_breakdown(once):
+    result = once(run_fig6)
+    print()
+    print(render_fig6(result))
+    claims = result.claims()
+    assert all(claims.values()), {k: v for k, v in claims.items() if not v}

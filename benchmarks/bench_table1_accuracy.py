@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table I (accuracy comparison) at quick scale.
+
+Covers the SVHN CNN-4 rows — fixed-point references, ACOUSTIC-style arm,
+the GEO stream-length points, and the Sec. IV-A ablation ladder (drop PBW,
+then drop LFSR). The full dataset/model grid runs via
+``geo-repro table1 --scale standard``.
+"""
+
+from repro.experiments import render_table1, run_table1
+
+
+def test_table1_accuracy(once):
+    result = once(
+        run_table1,
+        scale="quick",
+        datasets=(("svhn", "cnn4"),),
+        include_ablation=True,
+        verbose=False,
+    )
+    print()
+    print(render_table1(result))
+
+    claims = result.claims()
+    assert claims["geo_beats_acoustic_at_quarter_streams"]
+    assert claims["dropping_pbw_hurts"]
+    assert claims["dropping_lfsr_hurts_further"]
+    assert claims["fixed_point_upper_bounds_sc"]

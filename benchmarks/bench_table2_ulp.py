@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table II (GEO-ULP vs Eyeriss-4b / ACOUSTIC /
+mixed-signal accelerators)."""
+
+from repro.experiments import render_table2, run_table2
+
+
+def test_table2_ulp(once):
+    result = once(run_table2)
+    print()
+    print(render_table2(result))
+    claims = result.claims()
+    assert all(claims.values()), {k: v for k, v in claims.items() if not v}

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table III (GEO-LP vs Eyeriss-8b / SM-SC / SCOPE /
+ACOUSTIC-LP on VGG-16)."""
+
+from repro.experiments import render_table3, run_table3
+
+
+def test_table3_lp(once):
+    result = once(run_table3)
+    print()
+    print(render_table3(result))
+    claims = result.claims()
+    assert all(claims.values()), {k: v for k, v in claims.items() if not v}

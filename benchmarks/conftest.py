@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper table or figure exactly once
+(``rounds=1``): the interesting output is the experiment report and its
+shape-claim checks, printed to the terminal; the benchmark timing records
+the cost of regenerating the artifact.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,32 @@
+"""Reproduction of *GEO: Generation and Execution Optimized Stochastic
+Computing Accelerator for Neural Networks* (Li, Romaszkan, Pamarti, Gupta —
+DATE 2021).
+
+Subpackages
+-----------
+``repro.sc``
+    Bit-true stochastic computing core (LFSRs, SNGs, streams, partial
+    binary accumulation, seed sharing, progressive generation).
+``repro.nn``
+    From-scratch numpy autograd / CNN training substrate (the PyTorch
+    stand-in).
+``repro.scnn``
+    SC-aware layers and the SC-forward / FP-backward training loop.
+``repro.models`` / ``repro.datasets``
+    CNN-4, reduced VGG-16, LeNet-5, and synthetic stand-ins for
+    CIFAR-10 / SVHN / MNIST.
+``repro.cost`` / ``repro.arch``
+    28 nm gate-level cost models and the block-level GEO accelerator
+    performance simulator (ULP and LP configurations).
+``repro.baselines``
+    Eyeriss-like fixed-point model, ACOUSTIC configuration, and
+    literature-reported comparison rows.
+``repro.experiments``
+    One runner per paper table and figure.
+"""
+
+from repro import sc  # noqa: F401  (re-exported subpackage)
+
+__version__ = "1.0.0"
+
+__all__ = ["sc", "__version__"]

@@ -1,0 +1,107 @@
+"""Block-level GEO accelerator model: ISA, compiler, dataflow, perfsim."""
+
+from repro.arch.geo import (
+    ACOUSTIC_LP,
+    ACOUSTIC_ULP,
+    BASE_ULP,
+    GEO_GEN_EXEC_ULP,
+    GEO_GEN_ULP,
+    GEO_LP,
+    GEO_ULP,
+    GeoArchConfig,
+    STREAMS_128_128,
+    STREAMS_16_32,
+    STREAMS_256_256,
+    STREAMS_32_64,
+    STREAMS_64_128,
+)
+from repro.arch.isa import (
+    Instruction,
+    Opcode,
+    assemble,
+    chunk_units,
+    disassemble,
+)
+from repro.arch.blocks import FIG6_COMPONENTS, AcceleratorBlocks, build_blocks
+from repro.arch.dataflow import (
+    DataflowCounts,
+    LayerMapping,
+    compare_dataflows,
+    input_stationary_counts,
+    map_layer,
+    output_stationary_counts,
+    weight_stationary_counts,
+)
+from repro.arch.compiler import (
+    LayerProgram,
+    compile_layer,
+    compile_network,
+    layer_stream_length,
+)
+from repro.arch.pipeline import CriticalPath, TimingReport, critical_path, timing_report
+from repro.arch.perfsim import LayerPerf, PerfReport, simulate
+from repro.arch.executor import (
+    Executor,
+    MachineState,
+    TraceEvent,
+    execute_layer_program,
+)
+from repro.arch.sweep import (
+    DesignPoint,
+    best_under_area,
+    pareto_frontier,
+    sweep,
+)
+from repro.arch.functional import RowDatapath, segmented_reference
+
+__all__ = [
+    "ACOUSTIC_LP",
+    "ACOUSTIC_ULP",
+    "BASE_ULP",
+    "GEO_GEN_EXEC_ULP",
+    "GEO_GEN_ULP",
+    "GEO_LP",
+    "GEO_ULP",
+    "GeoArchConfig",
+    "STREAMS_128_128",
+    "STREAMS_16_32",
+    "STREAMS_256_256",
+    "STREAMS_32_64",
+    "STREAMS_64_128",
+    "Instruction",
+    "Opcode",
+    "assemble",
+    "chunk_units",
+    "disassemble",
+    "FIG6_COMPONENTS",
+    "AcceleratorBlocks",
+    "build_blocks",
+    "DataflowCounts",
+    "LayerMapping",
+    "compare_dataflows",
+    "input_stationary_counts",
+    "map_layer",
+    "output_stationary_counts",
+    "weight_stationary_counts",
+    "LayerProgram",
+    "compile_layer",
+    "compile_network",
+    "layer_stream_length",
+    "CriticalPath",
+    "TimingReport",
+    "critical_path",
+    "timing_report",
+    "LayerPerf",
+    "PerfReport",
+    "simulate",
+    "Executor",
+    "MachineState",
+    "TraceEvent",
+    "execute_layer_program",
+    "DesignPoint",
+    "best_under_area",
+    "pareto_frontier",
+    "sweep",
+    "RowDatapath",
+    "segmented_reference",
+]

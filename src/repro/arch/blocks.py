@@ -1,0 +1,190 @@
+"""Block-level inventory of a GEO accelerator instance.
+
+Builds the eight components the paper's Fig. 6 breakdown reports — SC MAC
+arrays, activation SNGs, activation SNG buffers, weight SNGs, weight SNG
+buffers, output converters, activation memory, weight memory — plus the
+control/near-memory blocks, each as a :class:`~repro.cost.gates.BlockCost`
+or :class:`~repro.cost.memory.SRAM`.
+
+Geometry facts used (paper Sec. III-A):
+
+* Activations broadcast across rows: one activation SNG per product
+  column, shared by all rows.
+* Each row holds its own weights: one weight SNG per product.
+* With RNG sharing, one LFSR bank (activation set + weight set) serves
+  the whole array; without sharing every SNG carries a private LFSR.
+* Buffer storage is register-file bitcells; shadow buffering adds the
+  2-bit progressive prefix per entry (Sec. III-D: ~4% accelerator-level
+  overhead, vs 4X-sized full shadow buffers without progressive
+  generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.geo import GeoArchConfig
+from repro.cost import gates as g
+from repro.cost.area import batch_norm_unit_area, output_converter_area
+from repro.cost.gates import BlockCost
+from repro.cost.memory import SRAM
+from repro.sc.accumulate import AccumulationMode
+
+#: Fig. 6 component names, in the order the paper's legend lists them.
+FIG6_COMPONENTS = [
+    "SC MAC Arrays",
+    "Act. SNG",
+    "Act. SNG Buffers",
+    "Wgt. SNG",
+    "Wgt. SNG Buffers",
+    "Output Conv.",
+    "Act. Memory",
+    "Wgt. Memory",
+]
+
+
+@dataclass
+class AcceleratorBlocks:
+    """Logic blocks + memories of one accelerator instance."""
+
+    logic: dict[str, BlockCost]
+    act_memory: SRAM
+    wgt_memory: SRAM
+    instruction_memory: SRAM
+
+    def area_mm2(self) -> dict[str, float]:
+        """Per-component area in mm^2 (Fig. 6 left bars)."""
+        areas = {name: block.area_mm2 for name, block in self.logic.items()}
+        areas["Act. Memory"] = self.act_memory.area_mm2
+        areas["Wgt. Memory"] = self.wgt_memory.area_mm2
+        areas["Control"] = self.instruction_memory.area_mm2
+        return areas
+
+    def total_area_mm2(self) -> float:
+        return sum(self.area_mm2().values())
+
+    def leakage_power_mw(self, vdd: float) -> float:
+        logic = sum(b.leakage_power_mw(vdd) for b in self.logic.values())
+        mem = (
+            self.act_memory.leakage_power_mw()
+            + self.wgt_memory.leakage_power_mw()
+            + self.instruction_memory.leakage_power_mw()
+        )
+        return logic + mem
+
+
+def _buffer_gates(entries: int, bits: int, scheme: str) -> float:
+    """SNG buffer storage: register-file bitcells. Shadow buffering adds
+    the 2-bit progressive prefix per entry; ACOUSTIC-style double
+    buffering duplicates the full buffer (the 4X-larger alternative the
+    paper's Sec. III-D argues against)."""
+    storage = entries * bits * g.GE["sram_bitcell"]
+    if scheme == "shadow":
+        storage += entries * 2 * g.GE["sram_bitcell"] * 2  # latching cells
+    elif scheme == "double":
+        storage *= 2
+    return storage
+
+
+def build_blocks(arch: GeoArchConfig) -> AcceleratorBlocks:
+    """Instantiate the block inventory for an architecture config."""
+    bits = arch.lfsr_bits
+    rows = arch.rows
+    width = arch.row_width
+    scheme = arch.buffering
+    mode = arch.accumulation
+    groups = max(arch.pb_groups, 1)
+
+    # --- SC MAC arrays: AND products + OR fabric + partial-binary trees.
+    and_gates = 2 * rows * width * g.GE["and2"]
+    or_gates = 2 * rows * max(width - groups, 0) * g.GE["or2"]
+    if mode is AccumulationMode.SC:
+        pb_gates = 0.0
+    else:
+        pb_gates = 2 * rows * g.adder_tree_gates(groups)
+    pipe_gates = 0.0
+    if arch.pipelined:
+        # One register stage between the SC and partial-binary stages —
+        # <1% accelerator-level overhead (Sec. III-D).
+        pipe_gates = 2 * rows * groups * g.GE["dff"]
+    mac_arrays = BlockCost(
+        "SC MAC Arrays", and_gates + or_gates + pb_gates + pipe_gates,
+        toggle_rate=0.25,
+    )
+
+    # --- SNG comparators. Activations broadcast across rows; weights are
+    # per-row. LFSRs are physically banked per product column (an
+    # activation set and a weight set, shared by all rows — Sec. III-A:
+    # "different rows share the same set of LFSR"); a per-SNG LFSR for
+    # the whole weight array would be area-prohibitive, which is why even
+    # the Fig. 6 baseline banks them and emulates TRNG by widening the
+    # bank to 16 bits. "More extensive RNG sharing" therefore shows up as
+    # the halved LFSR width (and as the seed plan during training).
+    # Comparators and buffers are sized by the operand precision (8 bits
+    # max — shorter streams truncate the value); only the LFSR bank
+    # widens when emulating TRNG with 16-bit LFSRs.
+    value_bits = min(bits, 8)
+    lfsr_gates = g.register_gates(bits) + 3 * g.GE["xor2"]
+    act_sng_gates = (
+        width * value_bits * g.GE["comparator_bit"] + width * lfsr_gates
+    )
+    wgt_sng_gates = (
+        rows * width * value_bits * g.GE["comparator_bit"] + width * lfsr_gates
+    )
+    act_sng = BlockCost("Act. SNG", act_sng_gates, toggle_rate=0.5)
+    wgt_sng = BlockCost("Wgt. SNG", wgt_sng_gates, toggle_rate=0.5)
+
+    # --- SNG buffers (target values), register-file storage.
+    act_buffers = BlockCost(
+        "Act. SNG Buffers",
+        _buffer_gates(width, 8, scheme),
+        toggle_rate=0.05,
+    )
+    wgt_buffers = BlockCost(
+        "Wgt. SNG Buffers",
+        _buffer_gates(rows * width, 8, scheme),
+        toggle_rate=0.05,
+    )
+
+    # --- Output converters: one per row per minimum-kernel window.
+    converters_per_row = max(width // 128, 1)
+    conv_area = output_converter_area(
+        mode, (max(width // (5 * groups), 1), 5, max(groups, 1)),
+        pooling_inputs=4 if arch.computation_skipping else 1,
+    )
+    output_conv = BlockCost(
+        "Output Conv.",
+        rows * converters_per_row * conv_area,
+        toggle_rate=0.2,
+    )
+
+    logic = {
+        "SC MAC Arrays": mac_arrays,
+        "Act. SNG": act_sng,
+        "Act. SNG Buffers": act_buffers,
+        "Wgt. SNG": wgt_sng,
+        "Wgt. SNG Buffers": wgt_buffers,
+        "Output Conv.": output_conv,
+    }
+
+    if arch.near_memory:
+        # Near-memory adder + BN MAC arrays, one lane per memory word byte.
+        lanes = arch.memory_width_bits // 8
+        nm_gates = lanes * (
+            16 * g.GE["full_adder"] + batch_norm_unit_area(8)
+        )
+        logic["Near-Mem Compute"] = BlockCost(
+            "Near-Mem Compute", nm_gates, toggle_rate=0.3
+        )
+
+    return AcceleratorBlocks(
+        logic=logic,
+        act_memory=arch.act_memory(),
+        wgt_memory=arch.wgt_memory(),
+        instruction_memory=SRAM(
+            "instruction_memory",
+            arch.instruction_memory_kb * 1024,
+            width_bits=32,
+            banks=1,
+        ),
+    )

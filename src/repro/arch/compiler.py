@@ -1,0 +1,295 @@
+"""Layer-to-accelerator compiler.
+
+Maps each network layer onto the GEO row geometry, emits a representative
+instruction stream (using the hardware LOOP so programs stay compact), and
+precomputes the cycle breakdown the performance simulator consumes.
+
+Buffer-reload model (Secs. II-B, III-D)
+---------------------------------------
+The activation SNG buffers are refilled between generation passes through
+the activation memory port (shared with write-back/near-memory traffic, so
+the effective fill rate is half the port width). The three schemes differ
+in *what* must land before generation can start:
+
+* ``parallel`` — the classic SNG: the buffer is monolithic, so the full
+  buffer (every entry, all 8 bits) reloads before generation; SNG and MAC
+  clocks keep running while it waits (no gating), which is why the Fig. 6
+  baseline burns energy during stalls.
+* ``progressive`` — generation starts once the 2-bit MSB prefix of each
+  entry is in (4X less pre-generation traffic); the remaining bits stream
+  in groups of 2 during generation. Incremental loading also enables the
+  sliding-window partial update (only ``1/K`` of the window is new per
+  pass) and value truncation at short stream lengths (an ``n``-bit stream
+  only needs the top ``n`` bits, rounded up to the 2-bit group).
+* ``shadow`` — progressive + shadow buffers: the next pass's prefix is
+  prefetched during the current generation, so the stall vanishes unless
+  the whole reload cannot fit under a (short) generation phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.arch.dataflow import (
+    DataflowCounts,
+    LayerMapping,
+    map_layer,
+    output_stationary_counts,
+    weight_stationary_counts,
+)
+from repro.arch.geo import GeoArchConfig
+from repro.arch.isa import Instruction, Opcode, chunk_units
+from repro.errors import CompilationError
+from repro.models.shapes import LayerShape
+from repro.sc.formats import stream_bits
+from repro.scnn.config import SCConfig
+
+#: Converter drain / pipeline refill overhead per generation pass.
+DRAIN_CYCLES_PER_PASS = 8
+
+
+def layer_stream_length(
+    layer: LayerShape, cfg: SCConfig, is_output_layer: bool
+) -> int:
+    """Stream length for a layer: ``sp`` when pooled, ``s`` otherwise,
+    and the always-128 output length for the classifier (Sec. IV)."""
+    if is_output_layer:
+        return cfg.output_stream_length
+    if layer.kind == "conv" and layer.pooled:
+        return cfg.stream_length_pooling
+    return cfg.stream_length
+
+
+def loaded_bits(stream_length: int, progressive: bool) -> int:
+    """Operand bits that must be fetched per value.
+
+    Progressive loading exploits the truncation of short streams: an
+    ``n``-bit stream needs only the top ``n`` bits, rounded up to the
+    2-bit load group (Sec. II-B). Parallel loading always moves the full
+    8-bit value.
+    """
+    if not progressive:
+        return 8
+    bits = stream_bits(stream_length)
+    return min(2 * math.ceil(bits / 2), 8)
+
+
+@dataclass
+class LayerProgram:
+    """Compiled form of one layer."""
+
+    layer: LayerShape
+    mapping: LayerMapping
+    counts: DataflowCounts
+    stream_length: int
+    gen_cycles_per_pass: int
+    reload_stall_per_pass: int
+    act_load_bytes: int  # total activation bytes fetched (buffering-aware)
+    weight_load_cycles: int
+    nm_acc_cycles: int
+    nm_bn_cycles: int
+    writeback_cycles: int
+    external_bytes: int
+    utilization: float = 1.0
+    instructions: list[Instruction] = field(default_factory=list)
+
+    @property
+    def generation_cycles(self) -> int:
+        return self.mapping.passes * self.gen_cycles_per_pass
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.mapping.passes * self.reload_stall_per_pass
+
+    @property
+    def compute_cycles(self) -> int:
+        """Generation + exposed reload stalls (the MAC-array timeline)."""
+        return self.generation_cycles + self.stall_cycles
+
+    @property
+    def memory_cycles(self) -> int:
+        """Memory-side work that overlaps compute via the ping-pong
+        banks: weight streaming and near-memory partial-sum updates."""
+        return self.weight_load_cycles + self.nm_acc_cycles
+
+    @property
+    def epilogue_cycles(self) -> int:
+        """Batch-norm/ReLU and write-back of the final outputs: the next
+        layer reads these values from the same bank, so they serialize at
+        the layer boundary."""
+        return self.nm_bn_cycles + self.writeback_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        return max(self.compute_cycles, self.memory_cycles) + self.epilogue_cycles
+
+
+def compile_layer(
+    layer: LayerShape,
+    arch: GeoArchConfig,
+    cfg: SCConfig,
+    is_output_layer: bool = False,
+) -> LayerProgram:
+    """Compile one layer to a program + cycle breakdown."""
+    mapping = map_layer(layer, arch)
+    if mapping.segments > 1 and not arch.near_memory:
+        counts = output_stationary_counts(layer, arch)
+    else:
+        counts = weight_stationary_counts(layer, arch)
+
+    length = layer_stream_length(layer, cfg, is_output_layer)
+    # Split-unipolar doubles the physical stream length; draining the
+    # output-converter counters to the write-back path costs a fixed
+    # per-pass overhead on top.
+    gen_cycles = 2 * length + DRAIN_CYCLES_PER_PASS
+
+    progressive = arch.buffering in ("progressive", "shadow")
+    bits = loaded_bits(length, progressive)
+    entries_full = mapping.windows_per_pass * min(
+        layer.kernel_volume, arch.row_width
+    )
+    if progressive and counts.dataflow == "weight_stationary" and layer.kind == "conv":
+        # Incremental loading enables the vertical sliding-window update:
+        # only one kernel row of activations is new per pass.
+        entries_new = max(entries_full // max(layer.kernel, 1), 1)
+    else:
+        entries_new = entries_full
+
+    # The act-memory port is shared with write-back/near-memory traffic:
+    # effective buffer fill rate is half the port width.
+    fill_rate = max(arch.memory_width_bits / 16, 1.0)  # bytes per cycle
+    new_bytes = entries_new * bits / 8
+    if arch.buffering == "parallel":
+        # Full monolithic reload: every entry, all 8 bits, before GEN.
+        stall = math.ceil(entries_full / fill_rate)
+        pass_bytes = entries_full * 1.0
+    elif arch.buffering == "double":
+        # Full-size double buffers (ACOUSTIC-style): the next operand set
+        # loads into the spare buffer during generation — no stall, but
+        # also no progressive truncation of the fetched bytes.
+        stall = max(0, math.ceil(entries_full / fill_rate) - gen_cycles)
+        pass_bytes = entries_full * 1.0
+    elif arch.buffering == "progressive":
+        prefix_bytes = entries_new * 2 / 8
+        stall = math.ceil(prefix_bytes / fill_rate)
+        # The remaining bits must fit under generation; any excess stalls.
+        rest = new_bytes - prefix_bytes
+        stall += max(0, math.ceil(rest / fill_rate) - gen_cycles)
+        pass_bytes = new_bytes
+    else:  # shadow
+        stall = max(0, math.ceil(new_bytes / fill_rate) - gen_cycles)
+        pass_bytes = new_bytes
+    if counts.dataflow == "output_stationary":
+        # Weights reload every pass too; expose those lines as stall.
+        wgt_entries = min(layer.kernel_volume, arch.row_width)
+        stall += math.ceil(wgt_entries / fill_rate)
+
+    act_load_bytes = int(mapping.passes * pass_bytes)
+
+    line_bytes = arch.memory_width_bits // 8
+    if counts.dataflow == "output_stationary":
+        weight_load_cycles = 0  # charged per pass above
+    else:
+        # Per-row weight memories fill all row buffers in parallel.
+        weight_load_cycles = math.ceil(
+            counts.wgt_reads / arch.weight_fill_rate
+        )
+
+    lanes = max(line_bytes // 2, 1)  # 16-bit partial sums
+    nm_acc_cycles = (
+        2 * math.ceil(counts.psum_writes / lanes) if arch.near_memory else 0
+    )
+    if arch.near_memory:
+        # The near-memory BN/ReLU array consumes drained outputs one
+        # memory line per cycle and writes the normalized values back in
+        # the same operation, so no separate write-back pass remains.
+        nm_bn_cycles = 2 * math.ceil(mapping.stored_outputs / line_bytes)
+        writeback_cycles = 0
+    else:
+        nm_bn_cycles = 0
+        writeback_cycles = math.ceil(mapping.stored_outputs / line_bytes)
+
+    external_bytes = 0
+    if arch.external_memory is not None:
+        external_bytes = layer.weights
+
+    program = LayerProgram(
+        layer=layer,
+        mapping=mapping,
+        counts=counts,
+        stream_length=length,
+        gen_cycles_per_pass=gen_cycles,
+        reload_stall_per_pass=stall,
+        act_load_bytes=act_load_bytes,
+        weight_load_cycles=weight_load_cycles,
+        nm_acc_cycles=nm_acc_cycles,
+        nm_bn_cycles=nm_bn_cycles,
+        writeback_cycles=writeback_cycles,
+        external_bytes=external_bytes,
+        utilization=min(mapping.used_macs / arch.total_macs, 1.0),
+    )
+    program.instructions = _emit(program, arch)
+    return program
+
+
+def _emit(program: LayerProgram, arch: GeoArchConfig) -> list[Instruction]:
+    """Emit a compact instruction stream using the hardware LOOP."""
+    line_bytes = arch.memory_width_bits // 8
+    instructions: list[Instruction] = []
+    if program.layer.pooled and arch.computation_skipping:
+        instructions.append(Instruction(Opcode.POOL_CFG, 4))
+    for lines in chunk_units(min(program.weight_load_cycles, 511 * 8), 511):
+        instructions.append(Instruction(Opcode.LD_WGT, lines))
+    body: list[Instruction] = []
+    act_lines = min(max(program.reload_stall_per_pass, 1), 511)
+    body.append(Instruction(Opcode.LD_ACT, act_lines))
+    if arch.buffering == "shadow":
+        body.append(Instruction(Opcode.LD_SHADOW, min(act_lines, 511)))
+    for cycles in chunk_units(program.gen_cycles_per_pass, 511):
+        body.append(Instruction(Opcode.GEN, cycles))
+    body.append(Instruction(Opcode.DRAIN, 1))
+    if program.nm_acc_cycles:
+        body.append(
+            Instruction(Opcode.NM_ACC, min(program.mapping.segments, 511))
+        )
+    per_pass_wb = max(
+        math.ceil(
+            program.mapping.stored_outputs
+            / max(program.mapping.passes, 1)
+            / line_bytes
+        ),
+        1,
+    )
+    body.append(Instruction(Opcode.WB_ACT, min(per_pass_wb, 511)))
+    instructions.extend(body)
+    repeats = min(max(program.mapping.passes - 1, 0), 511)
+    if repeats:
+        instructions.append(
+            Instruction(Opcode.LOOP, min(len(body), 511), repeats)
+        )
+    if program.nm_bn_cycles:
+        for vectors in chunk_units(
+            min(math.ceil(program.mapping.stored_outputs / line_bytes), 511 * 4),
+            511,
+        ):
+            instructions.append(Instruction(Opcode.NM_BN, vectors))
+    instructions.append(Instruction(Opcode.SYNC))
+    return instructions
+
+
+def compile_network(
+    layers: list[LayerShape], arch: GeoArchConfig, cfg: SCConfig
+) -> list[LayerProgram]:
+    """Compile every layer; the final layer is the output layer (128-bit
+    streams, Sec. IV)."""
+    if not layers:
+        raise CompilationError("cannot compile an empty network")
+    programs = []
+    for i, layer in enumerate(layers):
+        programs.append(
+            compile_layer(
+                layer, arch, cfg, is_output_layer=(i == len(layers) - 1)
+            )
+        )
+    return programs

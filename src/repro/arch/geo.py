@@ -1,0 +1,215 @@
+"""GEO accelerator configurations (paper Sec. IV).
+
+Two design points are evaluated:
+
+* **GEO-ULP** — ultra-low-power: 25.6K MACs (32 rows x 800 products) with
+  150 KB of on-chip memory; everything resident on chip.
+* **GEO-LP** — low-power/scale-out: 294K MACs (64 rows x 4608 products)
+  with 0.5 MB of on-chip memory and HBM2 external memory.
+
+The Fig. 6 ablation points (Base-128,128 / GEO-GEN / GEO-GEN-EXEC) and the
+ACOUSTIC comparison configurations are derived from the same dataclass by
+switching the Sec. II/III optimizations off, exactly as the paper builds
+them ("ACOUSTIC configurations are sized to have the same amount of memory
+and compute as GEO ... we use the same simulation framework").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.cost.memory import ExternalMemory, SRAM
+from repro.sc.accumulate import AccumulationMode
+from repro.sc.sharing import SharingLevel
+from repro.scnn.config import SCConfig
+
+
+@dataclass(frozen=True)
+class GeoArchConfig:
+    """One accelerator design point.
+
+    Attributes
+    ----------
+    rows / row_width:
+        Compute geometry: each row owns one output channel at a time and
+        holds ``row_width`` SC product units; activations broadcast
+        across rows.
+    act_memory_kb / wgt_memory_kb:
+        On-chip SRAM capacities (each organized as 2 ping-pong banks).
+    lfsr_bits:
+        SNG/LFSR width. The Fig. 6 baseline emulates TRNG with unshared
+        16-bit LFSRs; GEO matches the LFSR width to the stream length.
+    sharing / accumulation:
+        Sec. II-A seed sharing and Sec. III-B partial-binary mode.
+    pb_groups:
+        Parallel-counter inputs per MAC segment, fixed at design time
+        (5 = one group per W tap of a 5x5 kernel).
+    buffering:
+        ``"parallel"`` (classic full reload), ``"progressive"``, or
+        ``"shadow"`` (progressive + shadow buffers, Sec. III-D).
+    pipelined:
+        The SC/partial-binary pipeline stage; recovers >30% timing slack
+        and enables the reduced ``vdd``.
+    near_memory:
+        Near-memory partial-sum accumulation + batch norm (Sec. III-C).
+    computation_skipping:
+        Average pooling folded into the output converters so only pooled
+        outputs are generated on pooling layers.
+    """
+
+    name: str
+    rows: int = 32
+    row_width: int = 800
+    act_memory_kb: int = 64
+    wgt_memory_kb: int = 86
+    memory_width_bits: int = 64
+    lfsr_bits: int = 8
+    sharing: SharingLevel | str = SharingLevel.MODERATE
+    accumulation: AccumulationMode | str = AccumulationMode.PBW
+    pb_groups: int = 5
+    buffering: str = "shadow"
+    pipelined: bool = True
+    near_memory: bool = True
+    computation_skipping: bool = True
+    vdd: float = 0.81
+    clock_mhz: float = 400.0
+    external_memory: ExternalMemory | None = None
+    instruction_memory_kb: int = 4
+
+    def __post_init__(self):
+        if self.rows < 1 or self.row_width < 1:
+            raise ConfigurationError("rows and row_width must be >= 1")
+        if self.buffering not in ("parallel", "progressive", "shadow", "double"):
+            raise ConfigurationError(f"unknown buffering {self.buffering!r}")
+        object.__setattr__(self, "sharing", SharingLevel.parse(self.sharing))
+        object.__setattr__(
+            self, "accumulation", AccumulationMode.parse(self.accumulation)
+        )
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def total_macs(self) -> int:
+        return self.rows * self.row_width
+
+    @property
+    def total_memory_kb(self) -> int:
+        return self.act_memory_kb + self.wgt_memory_kb
+
+    def act_memory(self) -> SRAM:
+        return SRAM(
+            "act_memory",
+            self.act_memory_kb * 1024,
+            width_bits=self.memory_width_bits,
+            banks=2,
+        )
+
+    def wgt_memory(self) -> SRAM:
+        # One ping-pong pair per MAC row (paper Fig. 4: "Weight Memory
+        # 0..N") — weight fill bandwidth scales with the row count.
+        return SRAM(
+            "wgt_memory",
+            self.wgt_memory_kb * 1024,
+            width_bits=self.memory_width_bits,
+            banks=2 * self.rows,
+        )
+
+    @property
+    def weight_fill_rate(self) -> float:
+        """Weight-buffer fill bandwidth in bytes/cycle: every row's
+        memory feeds its own buffers in parallel."""
+        return self.rows * self.memory_width_bits / 8
+
+    def peak_gops(self, stream_length: int = 64) -> float:
+        """Peak throughput in GOPS. Each SC product unit evaluates both
+        split-unipolar sign channels every cycle (two AND gates), so a
+        ``stream_length``-bit MAC completes 2 ops (multiply + accumulate)
+        per product unit every ``stream_length`` cycles.
+
+        GEO-ULP at 400 MHz with 32-bit streams reaches 640 GOPS
+        (Table II: GEO ULP-32,64 = 640, -16,32 = 1280).
+        """
+        ops_per_second = 2 * self.total_macs * self.clock_mhz * 1e6
+        return ops_per_second / stream_length / 1e9
+
+    def with_(self, **kwargs) -> "GeoArchConfig":
+        return replace(self, **kwargs)
+
+
+# --- paper design points ----------------------------------------------------------
+
+GEO_ULP = GeoArchConfig(
+    name="GEO-ULP",
+    rows=32,
+    row_width=800,
+    act_memory_kb=64,
+    wgt_memory_kb=86,
+)
+
+GEO_LP = GeoArchConfig(
+    name="GEO-LP",
+    rows=128,
+    row_width=2304,
+    act_memory_kb=256,
+    wgt_memory_kb=256,
+    external_memory=ExternalMemory(),
+)
+
+#: Fig. 6 baseline: no GEO optimizations, 16-bit unshared LFSRs (TRNG
+#: stand-in), full parallel buffer reloads, all-OR accumulation, no
+#: pipelining / DVFS, no near-memory compute.
+BASE_ULP = GEO_ULP.with_(
+    name="Base-128,128",
+    lfsr_bits=16,
+    sharing=SharingLevel.NONE,
+    accumulation=AccumulationMode.SC,
+    pb_groups=1,
+    buffering="parallel",
+    pipelined=False,
+    near_memory=False,
+    computation_skipping=True,
+    vdd=0.9,
+)
+
+#: Fig. 6 middle point: generation optimizations only (Sec. II).
+GEO_GEN_ULP = BASE_ULP.with_(
+    name="GEO-GEN-128,128",
+    lfsr_bits=8,
+    sharing=SharingLevel.MODERATE,
+    buffering="shadow",
+)
+
+#: Fig. 6 full point: generation + execution optimizations (Sec. III).
+GEO_GEN_EXEC_ULP = GEO_GEN_ULP.with_(
+    name="GEO-GEN-EXEC-32,64",
+    accumulation=AccumulationMode.PBW,
+    pb_groups=5,
+    pipelined=True,
+    near_memory=True,
+    vdd=0.81,
+)
+
+#: ACOUSTIC comparison points: iso-memory/compute with GEO, none of the
+#: GEO optimizations, longer streams for iso-accuracy.
+ACOUSTIC_ULP = BASE_ULP.with_(
+    name="ACOUSTIC-ULP", lfsr_bits=8, buffering="double"
+)
+ACOUSTIC_LP = GEO_LP.with_(
+    name="ACOUSTIC-LP",
+    lfsr_bits=8,
+    sharing=SharingLevel.NONE,
+    accumulation=AccumulationMode.SC,
+    pb_groups=1,
+    buffering="double",
+    pipelined=False,
+    near_memory=False,
+    vdd=0.9,
+)
+
+#: Stream-length configurations used in the performance tables.
+STREAMS_128_128 = SCConfig(stream_length=128, stream_length_pooling=128)
+STREAMS_64_128 = SCConfig(stream_length=128, stream_length_pooling=64)
+STREAMS_32_64 = SCConfig(stream_length=64, stream_length_pooling=32)
+STREAMS_16_32 = SCConfig(stream_length=32, stream_length_pooling=16)
+STREAMS_256_256 = SCConfig(stream_length=256, stream_length_pooling=256)

@@ -1,0 +1,148 @@
+"""GEO instruction set architecture.
+
+The paper reuses the ACOUSTIC ISA "with minor modifications" and extends
+it with a 2-cycle read-add-write vector instruction for near-memory
+partial-sum accumulation plus near-memory batch-norm support
+(Sec. III-C). The accelerator is "fully programmable, with its own ISA and
+instruction memory"; this module defines the instruction set, a compact
+32-bit encoding, and an encoder/decoder pair used by the compiler and the
+performance simulator.
+
+Encoding (32 bits)::
+
+    [31:27] opcode | [26:18] arg0 | [17:9] arg1 | [8:0] arg2
+
+Arguments are 9-bit fields; larger counts are expressed in the natural
+units of the instruction (vectors, buffer lines, passes) so they fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import CompilationError
+
+
+class Opcode(IntEnum):
+    """GEO instruction opcodes."""
+
+    NOP = 0
+    LD_WGT = 1  # load weight SNG buffer lines from weight memory
+    LD_ACT = 2  # load activation SNG buffer lines from activation memory
+    LD_SHADOW = 3  # prefetch progressive prefix into shadow buffers
+    GEN = 4  # run stream generation + SC MAC for arg0 cycles
+    DRAIN = 5  # drain output converters to the write-back path
+    NM_ACC = 6  # near-memory read-add-write of arg0 partial-sum vectors
+    NM_BN = 7  # near-memory batch-norm + ReLU over arg0 vectors
+    POOL_CFG = 8  # configure output-converter pooling (computation skip)
+    WB_ACT = 9  # write outputs back to activation memory
+    LD_EXT = 10  # stream arg0 lines from external memory (LP variant)
+    SYNC = 11  # barrier between ping-pong phases
+    LOOP = 12  # hardware loop: repeat previous arg0 instrs arg1 times
+    HALT = 13
+
+
+#: How many issue cycles each opcode costs per unit of work. LD_* costs
+#: are per buffer line; GEN is explicit in arg0; NM_ACC is the paper's
+#: 2-cycle read-add-write vector instruction.
+ISSUE_CYCLES = {
+    Opcode.NOP: 1,
+    Opcode.LD_WGT: 1,
+    Opcode.LD_ACT: 1,
+    Opcode.LD_SHADOW: 1,
+    Opcode.GEN: 0,  # arg0 carries the cycle count
+    Opcode.DRAIN: 1,
+    Opcode.NM_ACC: 2,
+    Opcode.NM_BN: 2,
+    Opcode.POOL_CFG: 1,
+    Opcode.WB_ACT: 1,
+    Opcode.LD_EXT: 1,
+    Opcode.SYNC: 1,
+    Opcode.LOOP: 1,
+    Opcode.HALT: 1,
+}
+
+_ARG_BITS = 9
+_ARG_MAX = (1 << _ARG_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded GEO instruction."""
+
+    opcode: Opcode
+    arg0: int = 0
+    arg1: int = 0
+    arg2: int = 0
+
+    def __post_init__(self):
+        for name in ("arg0", "arg1", "arg2"):
+            value = getattr(self, name)
+            if not 0 <= value <= _ARG_MAX:
+                raise CompilationError(
+                    f"{self.opcode.name}.{name}={value} exceeds "
+                    f"{_ARG_BITS}-bit field"
+                )
+
+    def encode(self) -> int:
+        return (
+            (int(self.opcode) << 27)
+            | (self.arg0 << 18)
+            | (self.arg1 << 9)
+            | self.arg2
+        )
+
+    @staticmethod
+    def decode(word: int) -> "Instruction":
+        if not 0 <= word < (1 << 32):
+            raise CompilationError(f"not a 32-bit instruction word: {word}")
+        opcode_value = (word >> 27) & 0x1F
+        try:
+            opcode = Opcode(opcode_value)
+        except ValueError as exc:
+            raise CompilationError(f"unknown opcode {opcode_value}") from exc
+        return Instruction(
+            opcode,
+            (word >> 18) & _ARG_MAX,
+            (word >> 9) & _ARG_MAX,
+            word & _ARG_MAX,
+        )
+
+    def cycles(self) -> int:
+        """Issue/execution cycles of this instruction."""
+        if self.opcode is Opcode.GEN:
+            return self.arg0
+        base = ISSUE_CYCLES[self.opcode]
+        if self.opcode in (Opcode.NM_ACC, Opcode.NM_BN):
+            return base * max(self.arg0, 1)
+        if self.opcode in (
+            Opcode.LD_WGT,
+            Opcode.LD_ACT,
+            Opcode.LD_SHADOW,
+            Opcode.LD_EXT,
+            Opcode.WB_ACT,
+        ):
+            return base * max(self.arg0, 1)
+        return base
+
+
+def assemble(instructions: list[Instruction]) -> list[int]:
+    """Encode a program to 32-bit words."""
+    return [inst.encode() for inst in instructions]
+
+
+def disassemble(words: list[int]) -> list[Instruction]:
+    return [Instruction.decode(w) for w in words]
+
+
+def chunk_units(total: int, per_instruction: int = _ARG_MAX) -> list[int]:
+    """Split ``total`` work units into arg-field-sized chunks."""
+    if total < 0:
+        raise CompilationError(f"negative work amount {total}")
+    chunks = []
+    while total > 0:
+        take = min(total, per_instruction)
+        chunks.append(take)
+        total -= take
+    return chunks or [0]

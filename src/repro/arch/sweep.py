@@ -1,0 +1,113 @@
+"""Design-space exploration over GEO architecture parameters.
+
+The paper evaluates two hand-picked design points (ULP and LP) "targeted
+at different area-points and network sizes". This module generalizes
+that: sweep row count / row width / memory split / stream lengths over a
+workload, simulate every point, and return the Pareto frontier in the
+(area, latency, energy) space — the tool a designer would actually use to
+pick the next GEO instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.arch.blocks import build_blocks
+from repro.arch.geo import GEO_ULP, GeoArchConfig
+from repro.arch.perfsim import simulate
+from repro.errors import ConfigurationError
+from repro.models.shapes import LayerShape
+from repro.scnn.config import SCConfig
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated architecture instance."""
+
+    arch: GeoArchConfig
+    streams: SCConfig
+    area_mm2: float
+    frames_per_second: float
+    frames_per_joule: float
+    power_mw: float
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.arch.rows}x{self.arch.row_width}"
+            f"@{self.streams.label()}"
+        )
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse on all axes, better on one.
+
+        Axes: smaller area, higher throughput, higher efficiency.
+        """
+        no_worse = (
+            self.area_mm2 <= other.area_mm2
+            and self.frames_per_second >= other.frames_per_second
+            and self.frames_per_joule >= other.frames_per_joule
+        )
+        better = (
+            self.area_mm2 < other.area_mm2
+            or self.frames_per_second > other.frames_per_second
+            or self.frames_per_joule > other.frames_per_joule
+        )
+        return no_worse and better
+
+
+def sweep(
+    layers: list[LayerShape],
+    rows_options: tuple[int, ...] = (16, 32, 64),
+    row_width_options: tuple[int, ...] = (400, 800, 1600),
+    stream_options: tuple[tuple[int, int], ...] = ((16, 32), (32, 64), (64, 128)),
+    base: GeoArchConfig = GEO_ULP,
+) -> list[DesignPoint]:
+    """Evaluate the cross product of architecture knobs on a workload."""
+    if not layers:
+        raise ConfigurationError("sweep needs a workload")
+    points: list[DesignPoint] = []
+    for rows, width, (sp, s) in itertools.product(
+        rows_options, row_width_options, stream_options
+    ):
+        arch = base.with_(
+            name=f"sweep-{rows}x{width}", rows=rows, row_width=width
+        )
+        streams = SCConfig(stream_length=s, stream_length_pooling=sp)
+        report = simulate(layers, arch, streams)
+        area = build_blocks(arch).total_area_mm2()
+        points.append(
+            DesignPoint(
+                arch=arch,
+                streams=streams,
+                area_mm2=area,
+                frames_per_second=report.frames_per_second,
+                frames_per_joule=report.frames_per_joule,
+                power_mw=report.power_mw,
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated subset, sorted by area."""
+    frontier = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.area_mm2)
+
+
+def best_under_area(
+    points: list[DesignPoint], area_budget_mm2: float
+) -> DesignPoint:
+    """Highest-throughput point within an area budget (the paper's
+    iso-area design style)."""
+    feasible = [p for p in points if p.area_mm2 <= area_budget_mm2]
+    if not feasible:
+        raise ConfigurationError(
+            f"no design point fits {area_budget_mm2} mm^2"
+        )
+    return max(feasible, key=lambda p: p.frames_per_second)

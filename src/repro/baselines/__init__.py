@@ -1,0 +1,38 @@
+"""Comparison baselines: Eyeriss-like fixed point, ACOUSTIC configs
+(defined in :mod:`repro.arch.geo`), and literature-reported rows."""
+
+from repro.baselines.eyeriss import (
+    EYERISS_LP_8BIT,
+    EYERISS_ULP_4BIT,
+    EyerissConfig,
+    EyerissReport,
+    simulate_eyeriss,
+)
+from repro.baselines.literature import (
+    CONV_RAM,
+    LITERATURE_ROWS,
+    MDL_CNN,
+    PAPER_TABLE1_ACCURACY,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    ReportedRow,
+    SCOPE,
+    SM_SC,
+)
+
+__all__ = [
+    "EYERISS_LP_8BIT",
+    "EYERISS_ULP_4BIT",
+    "EyerissConfig",
+    "EyerissReport",
+    "simulate_eyeriss",
+    "CONV_RAM",
+    "LITERATURE_ROWS",
+    "MDL_CNN",
+    "PAPER_TABLE1_ACCURACY",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "ReportedRow",
+    "SCOPE",
+    "SM_SC",
+]

@@ -1,0 +1,156 @@
+"""Area models of SC MAC units and SNG front-ends (paper Fig. 5).
+
+Fig. 5 compares, per three-dimensional kernel size, the area of an SC MAC
+unit under: full-OR accumulation (SC), partial binary accumulation in W
+(PBW) and in H and W (PBHW), approximate-parallel-counter accumulation
+(APC), and full fixed-point accumulation (FXP). The qualitative results
+this model must (and does) reproduce:
+
+* PBW / PBHW overhead over SC: up to ~1.4X / ~4.5X for small kernels,
+  shrinking to ~4% / ~9% for large ones;
+* full fixed-point accumulation: >5X for most kernel sizes;
+* APC: cheaper than FXP but still >3X PBW/PBHW for larger kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sc.accumulate import AccumulationMode, binary_group_count
+from repro.cost import gates as g
+
+
+@dataclass(frozen=True)
+class MACAreaBreakdown:
+    """Gate-equivalent breakdown of one SC MAC unit (one output value).
+
+    Output-conversion counters are *not* part of the MAC unit — they sit
+    in the output converter array (paper Fig. 4) and are modeled by
+    :func:`output_converter_area`.
+    """
+
+    multipliers: float  # AND gates (both split-unipolar sign channels)
+    or_fabric: float  # stochastic OR-reduction trees
+    binary_fabric: float  # registered compressor trees
+
+    @property
+    def total(self) -> float:
+        return self.multipliers + self.or_fabric + self.binary_fabric
+
+    @property
+    def total_um2(self) -> float:
+        return self.total * g.AREA_PER_GE_UM2
+
+
+def sc_mac_area(
+    kernel_shape: tuple[int, int, int],
+    mode: AccumulationMode | str,
+    stream_length: int = 128,
+) -> MACAreaBreakdown:
+    """Area of one SC MAC unit for a ``(Cin, H, W)`` kernel.
+
+    Both split-unipolar sign channels are accounted (activations are
+    non-negative after ReLU, weights carry the sign, so each product needs
+    two AND gates and the accumulation fabric is duplicated per channel).
+    """
+    mode = AccumulationMode.parse(mode)
+    cin, h, w = kernel_shape
+    if min(kernel_shape) < 1:
+        raise ConfigurationError(f"invalid kernel shape {kernel_shape}")
+    k = cin * h * w
+    channels = 2  # split-unipolar pos/neg
+
+    multipliers = channels * k * g.GE["and2"]
+
+    groups = binary_group_count(mode, cin, h, w)
+    if mode is AccumulationMode.APC:
+        # First level: OR pairs (approximation), then exact registered
+        # tree over the halved input count.
+        or_fabric = channels * (k // 2) * g.GE["or2"]
+        binary_fabric = channels * g.adder_tree_gates(max(k // 2, 1))
+    else:
+        group_size = k // groups
+        or_fabric = channels * groups * g.or_tree_gates(group_size)
+        binary_fabric = channels * g.adder_tree_gates(groups)
+
+    return MACAreaBreakdown(
+        multipliers=multipliers,
+        or_fabric=or_fabric,
+        binary_fabric=binary_fabric,
+    )
+
+
+def output_converter_area(
+    mode: AccumulationMode | str,
+    kernel_shape: tuple[int, int, int],
+    stream_length: int = 128,
+    pooling_inputs: int = 1,
+) -> float:
+    """One output converter slice in GE (paper Fig. 4 right): a counter
+    register per sign channel wide enough for ``groups * stream_length``
+    counts, a subtractor, and the configurable pooling parallel counter
+    that adds ``pooling_inputs`` neighbouring outputs (computation
+    skipping). Partial binary accumulation widens the counter inputs,
+    which is the "adjusted to handle wider inputs" cost of Sec. III-B.
+    """
+    mode = AccumulationMode.parse(mode)
+    cin, h, w = kernel_shape
+    groups = binary_group_count(mode, cin, h, w)
+    counter_bits = max(int(math.ceil(math.log2(groups * stream_length + 1))), 1)
+    channels = 2
+    area = channels * g.counter_gates(counter_bits)
+    area += counter_bits * g.GE["full_adder"]  # pos - neg subtractor
+    if pooling_inputs > 1:
+        input_bits = max(int(math.ceil(math.log2(groups + 1))), 1)
+        area += (pooling_inputs - 1) * input_bits * g.GE["full_adder"]
+    return area
+
+
+def mac_area_ratio(
+    kernel_shape: tuple[int, int, int],
+    mode: AccumulationMode | str,
+    baseline: AccumulationMode | str = AccumulationMode.SC,
+    stream_length: int = 128,
+) -> float:
+    """Area of ``mode`` relative to ``baseline`` (the Fig. 5 y-axis)."""
+    a = sc_mac_area(kernel_shape, mode, stream_length).total
+    b = sc_mac_area(kernel_shape, baseline, stream_length).total
+    return a / b
+
+
+def sng_area(bits: int, shared_rng: bool = True, shadow: bool = False) -> float:
+    """One SNG slice in GE: target buffer + comparator (+ shadow buffer).
+
+    With RNG sharing the LFSR itself is amortized across many SNGs and
+    accounted separately (see :func:`lfsr_area`); an unshared SNG carries
+    its own LFSR.
+    """
+    area = g.register_gates(bits) + bits * g.GE["comparator_bit"]
+    if shadow:
+        # Progressive shadow buffer: only the initial 2 bits per operand
+        # are prefetched (Sec. III-D: ~4% accelerator-level overhead vs
+        # 4X for full-width shadow buffers).
+        area += g.register_gates(2)
+    if not shared_rng:
+        area += lfsr_area(bits)
+    return area
+
+
+def lfsr_area(bits: int) -> float:
+    """Maximal-length LFSR: shift register + feedback XORs."""
+    return g.register_gates(bits) + 3 * g.GE["xor2"]
+
+
+def fixed_point_mac_area(bits: int) -> float:
+    """A conventional fixed-point MAC (the Eyeriss PE core): multiplier +
+    accumulator at double width."""
+    return g.multiplier_gates(bits) + g.counter_gates(2 * bits + 4)
+
+
+def batch_norm_unit_area(bits: int = 8) -> float:
+    """Near-memory fixed-point BN unit: one multiply-add at ``bits``."""
+    return g.multiplier_gates(bits) + bits * g.GE["full_adder"] + g.register_gates(
+        2 * bits
+    )

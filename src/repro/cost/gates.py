@@ -1,0 +1,131 @@
+"""28 nm gate-level cost library.
+
+The paper synthesizes its blocks with a commercial 28 nm HVT library; that
+library is proprietary, so this module provides a consistent analytic
+stand-in expressed in NAND2 gate equivalents (GE). Absolute constants are
+calibrated so that the assembled GEO-ULP accelerator lands near the
+paper's Table II endpoints (0.58 mm^2, tens of mW at 400 MHz); all the
+paper's *conclusions* are ratios between configurations built from the
+same library, which a consistent GE model preserves.
+
+Calibration constants (documented substitution, see DESIGN.md Sec. 2):
+
+* ``AREA_PER_GE``        — 0.49 um^2: a 28 nm NAND2 footprint.
+* ``ENERGY_PER_GE``      — 0.8 fJ per GE per toggle at 0.9 V.
+* ``DELAY_NAND2``        — 12 ps: loaded HVT NAND2 delay.
+* ``LEAKAGE_PER_GE``     — 1.5 nW per GE at 0.9 V (HVT).
+* Registered compressor-tree cells: the partial-binary / fixed-point
+  accumulation fabric is modeled as a pipelined compressor tree whose
+  full-adder cells register both sum and carry (FA + 2 DFF), matching the
+  paper's observation that full fixed-point accumulation costs >5X the
+  all-OR fabric (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+AREA_PER_GE_UM2 = 0.49
+ENERGY_PER_GE_FJ = 0.8
+DELAY_NAND2_PS = 12.0
+LEAKAGE_PER_GE_NW = 1.5
+NOMINAL_VDD = 0.9
+
+#: Gate sizes in NAND2 equivalents.
+GE = {
+    "inv": 0.5,
+    "nand2": 1.0,
+    "nor2": 1.0,
+    "and2": 1.5,
+    "or2": 1.0,  # NAND/NOR-alternating reduction trees
+    "xor2": 2.5,
+    "mux2": 2.5,
+    "dff": 4.5,
+    "half_adder": 3.0,
+    "full_adder": 6.0,
+    # Full adder with a pipeline register on its outputs — the unit cell
+    # of the registered compressor trees in the accumulation fabric.
+    "full_adder_reg": 15.0,
+    "comparator_bit": 1.0,  # per-bit magnitude comparator slice
+    "sram_bitcell": 0.25,  # register-file style storage bit
+}
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Area/energy/leakage of one hardware block.
+
+    Attributes
+    ----------
+    gates:
+        Size in NAND2 equivalents.
+    toggle_rate:
+        Average fraction of gates toggling per cycle (activity factor,
+        the paper adjusted synthesis power with RTL activity factors).
+    """
+
+    name: str
+    gates: float
+    toggle_rate: float = 0.15
+
+    @property
+    def area_um2(self) -> float:
+        return self.gates * AREA_PER_GE_UM2
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    def dynamic_energy_pj(self, cycles: float, vdd: float = NOMINAL_VDD) -> float:
+        """Dynamic energy over ``cycles`` active cycles, in picojoules."""
+        scale = (vdd / NOMINAL_VDD) ** 2
+        return self.gates * self.toggle_rate * cycles * ENERGY_PER_GE_FJ * scale / 1e3
+
+    def leakage_power_mw(self, vdd: float = NOMINAL_VDD) -> float:
+        """Static power in milliwatts (linear-in-V leakage approximation)."""
+        return self.gates * LEAKAGE_PER_GE_NW * (vdd / NOMINAL_VDD) / 1e6
+
+    def scaled(self, count: float) -> "BlockCost":
+        """This block replicated ``count`` times."""
+        return BlockCost(self.name, self.gates * count, self.toggle_rate)
+
+
+def gate_area_um2(kind: str, count: float = 1.0) -> float:
+    return GE[kind] * count * AREA_PER_GE_UM2
+
+
+def adder_tree_gates(inputs: int, registered: bool = True) -> float:
+    """Compressor tree summing ``inputs`` single-bit inputs per cycle.
+
+    A Wallace-style tree needs about ``inputs - log2(inputs)`` full
+    adders; registered trees use the FA+DFF unit cell.
+    """
+    if inputs <= 1:
+        return 0.0
+    import math
+
+    cells = max(inputs - int(math.log2(inputs)) - 1, 1)
+    kind = "full_adder_reg" if registered else "full_adder"
+    return cells * GE[kind]
+
+
+def or_tree_gates(inputs: int) -> float:
+    """OR-reduction tree over ``inputs`` streams."""
+    if inputs <= 1:
+        return 0.0
+    return (inputs - 1) * GE["or2"]
+
+
+def counter_gates(width_bits: int) -> float:
+    """Synchronous counter/accumulator register of ``width_bits``."""
+    return width_bits * (GE["dff"] + GE["half_adder"])
+
+
+def register_gates(width_bits: int) -> float:
+    return width_bits * GE["dff"]
+
+
+def multiplier_gates(bits: int) -> float:
+    """Array multiplier (``bits`` x ``bits``): AND matrix + carry-save
+    adders — the fixed-point baseline's MAC core."""
+    return bits * bits * GE["and2"] + (bits * bits - bits) * GE["full_adder"]

@@ -1,0 +1,98 @@
+"""On-chip SRAM and external-memory (HBM2) cost models.
+
+The paper models memories with CACTI 6.5 and external accesses after the
+HBM2 numbers of O'Connor et al. (MICRO'17). CACTI itself is a large C++
+tool; this module provides analytic fits of published 28 nm CACTI outputs
+with the standard scaling shapes (area linear in capacity with a bank
+overhead, access energy growing ~sqrt(capacity), wordline-limited
+latency). The HBM2 constants are the paper's cited ones: ~3.9 pJ/bit
+access energy at hundreds of GB/s per stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SRAM:
+    """A banked on-chip SRAM macro.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity.
+    width_bits:
+        Read/write port width.
+    banks:
+        Physical banks (GEO uses 2 logical banks per memory for
+        ping-pong operation).
+    """
+
+    name: str
+    capacity_bytes: int
+    width_bits: int = 64
+    banks: int = 2
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("SRAM capacity must be positive")
+        if self.width_bits <= 0 or self.banks <= 0:
+            raise ConfigurationError("SRAM geometry must be positive")
+
+    # --- fits of 28nm CACTI outputs -------------------------------------
+
+    @property
+    def area_mm2(self) -> float:
+        """~0.0018 mm^2 per KB at 28 nm plus per-bank periphery."""
+        kb = self.capacity_bytes / 1024
+        return 0.0018 * kb + 0.002 * self.banks
+
+    def access_energy_pj(self) -> float:
+        """Energy of one ``width_bits`` access; grows with the square
+        root of per-bank capacity (bitline length)."""
+        per_bank_kb = self.capacity_bytes / 1024 / self.banks
+        base = 1.1 * math.sqrt(max(per_bank_kb, 0.25))
+        return base * (self.width_bits / 64)
+
+    def access_energy_per_byte_pj(self) -> float:
+        return self.access_energy_pj() / (self.width_bits / 8)
+
+    @property
+    def latency_cycles(self) -> int:
+        """Pipelined SRAM: 1 cycle up to 64 KB/bank, 2 beyond."""
+        per_bank_kb = self.capacity_bytes / 1024 / self.banks
+        return 1 if per_bank_kb <= 64 else 2
+
+    def leakage_power_mw(self) -> float:
+        """~6 uW per KB at 28 nm HVT."""
+        return 0.006 * self.capacity_bytes / 1024
+
+    def bandwidth_bytes_per_cycle(self) -> float:
+        return self.banks * self.width_bits / 8
+
+
+@dataclass(frozen=True)
+class ExternalMemory:
+    """HBM2-style external memory (used by the GEO-LP variant).
+
+    Defaults follow the fine-grained-DRAM paper the authors cite:
+    ~3.9 pJ/bit access energy, 256 GB/s per stack.
+    """
+
+    name: str = "hbm2"
+    energy_per_bit_pj: float = 3.9
+    bandwidth_gb_s: float = 256.0
+
+    def access_energy_pj(self, num_bytes: float) -> float:
+        return self.energy_per_bit_pj * 8 * num_bytes
+
+    def transfer_cycles(self, num_bytes: float, clock_mhz: float) -> float:
+        """Cycles (at the accelerator clock) to stream ``num_bytes``."""
+        if num_bytes <= 0:
+            return 0.0
+        bytes_per_cycle = self.bandwidth_gb_s * 1e9 / (clock_mhz * 1e6)
+        return num_bytes / bytes_per_cycle

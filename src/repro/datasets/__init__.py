@@ -1,0 +1,11 @@
+"""Synthetic dataset generators standing in for CIFAR-10 / SVHN / MNIST."""
+
+from repro.datasets.synthetic import (
+    SPECS,
+    DatasetSpec,
+    SyntheticImages,
+    downscale,
+    load_pair,
+)
+
+__all__ = ["SPECS", "DatasetSpec", "SyntheticImages", "downscale", "load_pair"]

@@ -1,0 +1,170 @@
+"""Synthetic stand-ins for CIFAR-10, SVHN, and MNIST.
+
+No network access is available in this reproduction environment, so the
+paper's datasets are replaced by seeded, class-conditional image
+generators with matching tensor shapes (3x32x32 for CIFAR-10/SVHN,
+1x28x28 for MNIST). See DESIGN.md Sec. 2 for why this preserves the
+paper's claims: the experiments compare SC configurations *against each
+other* on fixed data, and the mechanisms under test (OR saturation,
+stream correlation, deterministic-bias learning) are data-independent.
+
+Generator design
+----------------
+Each class ``c`` owns a set of random spatial prototypes (smooth blobs +
+oriented gratings) combined with class-specific frequencies and colour
+balance; samples add per-sample deformation and pixel noise. Difficulty is
+controlled by the noise scale and prototype separation, tuned so a small
+CNN reaches high-but-not-saturated accuracy — leaving visible headroom for
+SC-induced degradation, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.data import ArrayDataset
+from repro.utils.seeding import SeedSequenceFactory
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape and difficulty description of a synthetic dataset."""
+
+    name: str
+    channels: int
+    size: int
+    num_classes: int
+    noise: float
+    texture_scale: float
+
+
+SPECS = {
+    # CIFAR-10-like: colourful, high texture variance -> hardest.
+    "cifar10": DatasetSpec("cifar10", 3, 32, 10, noise=0.22, texture_scale=1.0),
+    # SVHN-like: digits over cluttered background; a bit easier.
+    "svhn": DatasetSpec("svhn", 3, 32, 10, noise=0.16, texture_scale=0.8),
+    # MNIST-like: near-binary strokes; easiest (paper: ~99.3% everywhere).
+    "mnist": DatasetSpec("mnist", 1, 28, 10, noise=0.06, texture_scale=0.5),
+}
+
+
+def _smooth_noise(rng: np.random.Generator, channels: int, size: int, cutoff: int) -> np.ndarray:
+    """Low-pass-filtered Gaussian field in [-1, 1] (blob prototypes)."""
+    spectrum = rng.normal(size=(channels, size, size)) + 1j * rng.normal(
+        size=(channels, size, size)
+    )
+    fy = np.fft.fftfreq(size)[:, None]
+    fx = np.fft.fftfreq(size)[None, :]
+    mask = (np.abs(fy) <= cutoff / size) & (np.abs(fx) <= cutoff / size)
+    field = np.fft.ifft2(spectrum * mask, axes=(1, 2)).real
+    field /= np.abs(field).max() + 1e-9
+    return field.astype(np.float32)
+
+
+def _grating(size: int, frequency: float, angle: float, phase: float) -> np.ndarray:
+    """Oriented sinusoidal grating in [-1, 1]."""
+    yy, xx = np.mgrid[0:size, 0:size] / size
+    proj = np.cos(angle) * xx + np.sin(angle) * yy
+    return np.cos(2 * np.pi * frequency * proj + phase).astype(np.float32)
+
+
+class SyntheticImages:
+    """Seeded class-conditional image generator.
+
+    Examples
+    --------
+    >>> gen = SyntheticImages("svhn", seed=0)
+    >>> train = gen.dataset(64, split="train")
+    >>> train.images.shape
+    (64, 3, 32, 32)
+    """
+
+    def __init__(self, name: str, seed: int = 0):
+        if name not in SPECS:
+            raise ConfigurationError(
+                f"unknown dataset {name!r}; choose from {sorted(SPECS)}"
+            )
+        self.spec = SPECS[name]
+        self.seeds = SeedSequenceFactory(seed).child("dataset", name)
+        self._prototypes = self._build_prototypes()
+
+    def _build_prototypes(self) -> list[np.ndarray]:
+        spec = self.spec
+        rng = self.seeds.generator("prototypes")
+        prototypes = []
+        for c in range(spec.num_classes):
+            blob = _smooth_noise(rng, spec.channels, spec.size, cutoff=4)
+            angle = np.pi * c / spec.num_classes
+            frequency = 2.0 + 1.5 * (c % 4)
+            grate = _grating(spec.size, frequency, angle, phase=0.7 * c)
+            proto = blob + spec.texture_scale * grate[None, :, :]
+            # Class-specific channel balance ("colour"), deterministic.
+            balance = 0.6 + 0.4 * np.cos(
+                2 * np.pi * (c / spec.num_classes + np.arange(spec.channels) / 3.0)
+            )
+            proto = proto * balance[:, None, None]
+            proto /= np.abs(proto).max() + 1e-9
+            prototypes.append(proto.astype(np.float32))
+        return prototypes
+
+    def sample(
+        self, count: int, split: str = "train"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Generate ``count`` images with balanced labels.
+
+        ``split`` namespaces the randomness so train and test sets never
+        overlap while remaining individually reproducible.
+        """
+        spec = self.spec
+        rng = self.seeds.generator("samples", split)
+        labels = rng.integers(0, spec.num_classes, size=count)
+        images = np.empty(
+            (count, spec.channels, spec.size, spec.size), dtype=np.float32
+        )
+        for i, label in enumerate(labels):
+            proto = self._prototypes[label]
+            # Per-sample deformation: random shift + amplitude jitter.
+            shift_y, shift_x = rng.integers(-3, 4, size=2)
+            deformed = np.roll(proto, (shift_y, shift_x), axis=(1, 2))
+            amplitude = 0.8 + 0.4 * rng.random()
+            sample = amplitude * deformed + spec.noise * rng.normal(
+                size=proto.shape
+            )
+            images[i] = sample
+        # Map into [0, 1]: the SC activation domain of the first layer.
+        images = (images - images.min()) / (images.max() - images.min() + 1e-9)
+        return images.astype(np.float32), labels.astype(np.int64)
+
+    def dataset(self, count: int, split: str = "train") -> ArrayDataset:
+        images, labels = self.sample(count, split)
+        return ArrayDataset(images, labels)
+
+
+def load_pair(
+    name: str, train_count: int, test_count: int, seed: int = 0
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Train/test dataset pair for a named benchmark."""
+    gen = SyntheticImages(name, seed=seed)
+    return gen.dataset(train_count, "train"), gen.dataset(test_count, "test")
+
+
+def downscale(dataset: ArrayDataset, factor: int) -> ArrayDataset:
+    """Average-pool images by ``factor`` (quick-mode experiments shrink
+    32x32 inputs to 16x16 to fit the CPU budget; the paper itself
+    downscales VGG-16's X/Y dimensions for small images)."""
+    if factor < 1:
+        raise ConfigurationError("factor must be >= 1")
+    if factor == 1:
+        return dataset
+    images = dataset.images
+    n, c, h, w = images.shape
+    if h % factor or w % factor:
+        raise ConfigurationError(
+            f"image size {h}x{w} not divisible by factor {factor}"
+        )
+    pooled = images.reshape(n, c, h // factor, factor, w // factor, factor)
+    pooled = pooled.mean(axis=(3, 5))
+    return ArrayDataset(pooled.astype(np.float32), dataset.labels)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the GEO reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration problems from simulation
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class StreamLengthError(ConfigurationError):
+    """A stochastic stream length is unsupported (not a power of two, too
+    long for the available LFSR widths, or inconsistent between operands)."""
+
+
+class SeedExhaustionError(ConfigurationError):
+    """A sharing policy requested more unique RNG seeds than the LFSR
+    period provides (the paper shares seeds "up to the limit of availability
+    of unique RNG seeds")."""
+
+
+class ShapeError(ReproError):
+    """Tensor or stream operands have incompatible shapes."""
+
+
+class CompilationError(ReproError):
+    """A network layer cannot be mapped onto the accelerator configuration
+    (e.g. a kernel larger than the MAC row with partial sums disabled)."""
+
+
+class SimulationError(ReproError):
+    """The performance simulator reached an inconsistent state."""
+
+
+class GradientError(ReproError):
+    """Autograd graph misuse (backward through a non-scalar without an
+    explicit gradient, or a second backward without retained graph)."""

@@ -1,0 +1,63 @@
+"""Experiment harnesses — one runner per paper table and figure.
+
+Each module pairs a ``run_*`` function (returning a structured result with
+a ``claims()`` method asserting the paper's shape statements) with a
+``render_*`` function printing the paper-vs-measured report. The CLI
+(``geo-repro``) dispatches to these.
+"""
+
+from repro.experiments.common import (
+    SCALES,
+    ExperimentScale,
+    get_scale,
+    load_dataset,
+    train_fp_arm,
+    train_sc_arm,
+)
+from repro.experiments.fig1_sharing import Fig1Result, render_fig1, run_fig1
+from repro.experiments.fig2_progressive import Fig2Result, render_fig2, run_fig2
+from repro.experiments.fig5_area import Fig5Result, render_fig5, run_fig5
+from repro.experiments.fig6_breakdown import Fig6Result, render_fig6, run_fig6
+from repro.experiments.table1_accuracy import (
+    Table1Result,
+    acoustic_config,
+    geo_config,
+    render_table1,
+    run_table1,
+)
+from repro.experiments.table2_ulp import Table2Result, render_table2, run_table2
+from repro.experiments.table3_lp import Table3Result, render_table3, run_table3
+from repro.experiments import ablations
+
+__all__ = [
+    "SCALES",
+    "ExperimentScale",
+    "get_scale",
+    "load_dataset",
+    "train_fp_arm",
+    "train_sc_arm",
+    "Fig1Result",
+    "render_fig1",
+    "run_fig1",
+    "Fig2Result",
+    "render_fig2",
+    "run_fig2",
+    "Fig5Result",
+    "render_fig5",
+    "run_fig5",
+    "Fig6Result",
+    "render_fig6",
+    "run_fig6",
+    "Table1Result",
+    "acoustic_config",
+    "geo_config",
+    "render_table1",
+    "run_table1",
+    "Table2Result",
+    "render_table2",
+    "run_table2",
+    "Table3Result",
+    "render_table3",
+    "run_table3",
+    "ablations",
+]

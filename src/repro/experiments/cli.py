@@ -1,0 +1,109 @@
+"""Command-line entry point: ``geo-repro <experiment> [--scale quick]``.
+
+Runs one experiment harness and prints its paper-vs-measured report.
+Also exposed as ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablations import (
+    bn_gain_claim,
+    ld_sequence_claim,
+    pbhw_marginal_claim,
+    pbw_gain_claim,
+    render_claims,
+    run_all_cheap,
+)
+from repro.experiments.fig1_sharing import render_fig1, run_fig1
+from repro.experiments.fig2_progressive import render_fig2, run_fig2
+from repro.experiments.fig5_area import render_fig5, run_fig5
+from repro.experiments.fig6_breakdown import render_fig6, run_fig6
+from repro.experiments.table1_accuracy import render_table1, run_table1
+from repro.experiments.table2_ulp import render_table2, run_table2
+from repro.experiments.table3_lp import render_table3, run_table3
+from repro.experiments import export
+
+EXPERIMENTS = (
+    "fig1", "fig2", "fig5", "fig6",
+    "table1", "table2", "table3",
+    "ablations", "ablations-training", "all",
+)
+
+
+def _run(name: str, scale: str, csv_dir: str | None = None) -> None:
+    if name == "fig1":
+        result = run_fig1(scale)
+        print(render_fig1(result))
+        if csv_dir:
+            print(f"wrote {export.export_fig1(result, csv_dir)}")
+    elif name == "fig2":
+        result = run_fig2(scale)
+        print(render_fig2(result))
+        if csv_dir:
+            print(f"wrote {export.export_fig2(result, csv_dir)}")
+    elif name == "fig5":
+        result = run_fig5()
+        print(render_fig5(result))
+        if csv_dir:
+            print(f"wrote {export.export_fig5(result, csv_dir)}")
+    elif name == "fig6":
+        result = run_fig6()
+        print(render_fig6(result))
+        if csv_dir:
+            print(f"wrote {export.export_fig6(result, csv_dir)}")
+    elif name == "table1":
+        result = run_table1(scale)
+        print(render_table1(result))
+        if csv_dir:
+            print(f"wrote {export.export_table1(result, csv_dir)}")
+    elif name == "table2":
+        print(render_table2(run_table2()))
+    elif name == "table3":
+        print(render_table3(run_table3()))
+    elif name == "ablations":
+        print(render_claims(run_all_cheap(), "In-text claims (architectural)"))
+    elif name == "ablations-training":
+        claims = [
+            pbw_gain_claim(scale),
+            bn_gain_claim(scale),
+            pbhw_marginal_claim(scale),
+            ld_sequence_claim(scale),
+        ]
+        print(render_claims(claims, "In-text claims (training-based)"))
+    else:
+        raise ValueError(name)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="geo-repro",
+        description="Reproduce GEO (DATE 2021) tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("quick", "standard", "full"),
+        help="resource envelope for training-based experiments",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also dump the figure/table data as CSV into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        for name in EXPERIMENTS[:-1]:
+            print(f"\n===== {name} =====")
+            _run(name, args.scale, args.csv_dir)
+    else:
+        _run(args.experiment, args.scale, args.csv_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

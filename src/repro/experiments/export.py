@@ -1,0 +1,115 @@
+"""CSV export of figure/table data for external plotting.
+
+Every experiment result can be dumped to plain CSV (no plotting
+dependencies in this repository); the files regenerate the paper's figures
+in any plotting tool. Used by ``geo-repro ... --csv-dir``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.fig1_sharing import Fig1Result
+from repro.experiments.fig2_progressive import Fig2Result
+from repro.experiments.fig5_area import Fig5Result
+from repro.experiments.fig6_breakdown import Fig6Result
+from repro.experiments.table1_accuracy import Table1Result
+
+
+def _write(path: Path, header: list[str], rows: list[list]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig1(result: Fig1Result, directory: "str | Path") -> Path:
+    rows = [
+        [rng, sharing, length, acc]
+        for (rng, sharing, length), acc in sorted(result.accuracy.items())
+    ]
+    rows += [
+        ["trained-trng-eval-lfsr", sharing, length, acc]
+        for (sharing, length), acc in sorted(result.mismatch_accuracy.items())
+    ]
+    return _write(
+        Path(directory) / "fig1_sharing.csv",
+        ["rng", "sharing", "stream_length", "accuracy"],
+        rows,
+    )
+
+
+def export_fig2(result: Fig2Result, directory: "str | Path") -> Path:
+    rows = []
+    for length, curve in sorted(result.curves.items()):
+        for cycle, (n, p) in enumerate(
+            zip(curve.rms_normal, curve.rms_progressive), start=1
+        ):
+            rows.append([length, cycle, float(n), float(p)])
+    return _write(
+        Path(directory) / "fig2_progressive.csv",
+        ["stream_length", "cycle", "rms_normal", "rms_progressive"],
+        rows,
+    )
+
+
+def export_fig5(result: Fig5Result, directory: "str | Path") -> Path:
+    rows = []
+    kernels = sorted({k for k, _ in result.area_ge})
+    for kernel in kernels:
+        for mode in ("sc", "pbw", "pbhw", "apc", "fxp"):
+            rows.append(
+                [
+                    f"{kernel[0]}x{kernel[1]}x{kernel[2]}",
+                    mode,
+                    result.area_ge[(kernel, mode)],
+                    result.ratio[(kernel, mode)],
+                ]
+            )
+    return _write(
+        Path(directory) / "fig5_area.csv",
+        ["kernel", "mode", "area_ge", "ratio_to_sc"],
+        rows,
+    )
+
+
+def export_fig6(result: Fig6Result, directory: "str | Path") -> Path:
+    rows = []
+    for name, report in result.reports.items():
+        norm = result.normalized(name)
+        breakdown = report.energy_breakdown_pj()
+        total = sum(breakdown.values()) or 1.0
+        for component, energy in breakdown.items():
+            rows.append(
+                [
+                    name,
+                    component,
+                    energy / total,
+                    norm["area"],
+                    norm["energy"],
+                    norm["latency"],
+                ]
+            )
+    return _write(
+        Path(directory) / "fig6_breakdown.csv",
+        [
+            "config", "component", "component_energy_share",
+            "norm_area", "norm_energy", "norm_latency",
+        ],
+        rows,
+    )
+
+
+def export_table1(result: Table1Result, directory: "str | Path") -> Path:
+    rows = [
+        [dataset, model, arm, acc]
+        for (dataset, model, arm), acc in sorted(result.accuracy.items())
+    ]
+    return _write(
+        Path(directory) / "table1_accuracy.csv",
+        ["dataset", "model", "arm", "accuracy"],
+        rows,
+    )

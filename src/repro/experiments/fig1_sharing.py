@@ -1,0 +1,171 @@
+"""Figure 1: accuracy vs RNG sharing for TRNG- and LFSR-based generation.
+
+Reproduces the Sec. II-A experiment: CNN-4 on SVHN, split-unipolar
+streams, OR accumulation, trained through the simulation, with sharing in
+{none, moderate, extreme} x RNG in {TRNG, LFSR} x two stream lengths —
+plus the "trained with TRNG, validated with LFSR" mismatch check.
+
+Claims checked (the figure's shape):
+
+1. LFSR with moderate sharing beats every TRNG arm (paper: up to +6.1
+   points over unshared TRNG);
+2. TRNG gains nothing from moderate sharing (no determinism to learn);
+3. extreme sharing collapses accuracy for both RNGs;
+4. an LFSR-validated model *not trained* for LFSR generation gains
+   nothing from sharing (mismatch arm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models import cnn4_sc
+from repro.scnn import SCConfig, evaluate, swap_config, train_model
+from repro.utils.report import Table
+from repro.experiments.common import ExperimentScale, get_scale, load_dataset
+
+#: Stream lengths of the paper's Fig. 1 (both arms are trained per length).
+FIG1_STREAM_LENGTHS = (32, 128)
+
+
+@dataclass
+class Fig1Result:
+    """Accuracies per (rng_kind, sharing, stream_length) arm."""
+
+    accuracy: dict[tuple[str, str, int], float] = field(default_factory=dict)
+    mismatch_accuracy: dict[tuple[str, int], float] = field(default_factory=dict)
+    scale_name: str = "quick"
+
+    def claims(self) -> dict[str, bool]:
+        """Evaluate the figure's shape claims at the run's scale."""
+        out: dict[str, bool] = {}
+        lengths = sorted({key[2] for key in self.accuracy})
+        for length in lengths:
+            lfsr_mod = self.accuracy[("lfsr", "moderate", length)]
+            lfsr_none = self.accuracy[("lfsr", "none", length)]
+            trng_none = self.accuracy[("trng", "none", length)]
+            trng_mod = self.accuracy[("trng", "moderate", length)]
+            lfsr_ext = self.accuracy[("lfsr", "extreme", length)]
+            trng_ext = self.accuracy[("trng", "extreme", length)]
+            out[f"lfsr_moderate_beats_unshared_trng@{length}"] = (
+                lfsr_mod > trng_none
+            )
+            out[f"lfsr_moderate_beats_lfsr_none@{length}"] = lfsr_mod >= lfsr_none
+            # TRNG "does not see the accuracy improvement with sharing":
+            # whatever sharing gives TRNG, it recovers less than half of
+            # the gap up to the co-trained LFSR arm (robust to the
+            # noise-floor orderings of scaled runs).
+            out[f"trng_gains_nothing_from_sharing@{length}"] = (
+                trng_mod - trng_none
+            ) < 0.5 * max(lfsr_mod - trng_none, 0.02)
+            # Extreme sharing degrades both RNGs below the moderate arm
+            # (the paper's "significant drop in accuracy when using
+            # extreme sharing" for co-trained models; the catastrophic
+            # ~20% number is the *untrained* mismatch case below).
+            out[f"extreme_sharing_hurts@{length}"] = (
+                lfsr_ext < lfsr_mod - 0.02 and trng_ext < lfsr_mod - 0.02
+            )
+            mismatch_ext = self.mismatch_accuracy.get(("extreme", length))
+            if mismatch_ext is not None:
+                # "Extreme sharing reduces accuracy to about 20%" when
+                # the model is not trained for LFSR generation.
+                out[f"untrained_extreme_collapses@{length}"] = (
+                    mismatch_ext < 0.30
+                )
+        return out
+
+
+def run_fig1(
+    scale: "str | ExperimentScale" = "quick",
+    seed: int = 1,
+    include_mismatch: bool = True,
+    stream_lengths: tuple[int, ...] = FIG1_STREAM_LENGTHS,
+    verbose: bool = True,
+) -> Fig1Result:
+    """Train and evaluate all Fig. 1 arms on synthetic SVHN."""
+    scale = get_scale(scale)
+    result = Fig1Result(scale_name=scale.name)
+    train, test, size, channels = load_dataset("svhn", scale, seed=0)
+
+    def make_cfg(rng_kind: str, sharing: str, length: int) -> SCConfig:
+        return SCConfig(
+            stream_length=length,
+            stream_length_pooling=length,
+            # "Output layers always use 128-bit streams" (Sec. IV).
+            output_stream_length=128,
+            rng_kind=rng_kind,
+            sharing=sharing,
+            accumulation="sc",  # Fig. 1 setup: OR accumulation as in [5]
+        )
+
+    def build_and_train(cfg: SCConfig):
+        model = cnn4_sc(
+            cfg,
+            in_channels=channels,
+            input_size=size,
+            width_mult=scale.width_mult,
+            kernel_size=scale.kernel_size,
+            seed=seed,
+        )
+        res = train_model(
+            model, train, test,
+            epochs=scale.epochs, batch_size=scale.batch_size, seed=0,
+            eval_every=max(scale.epochs // 5, 1),
+            lr_step=max(scale.epochs // 3, 1),
+        )
+        return model, res.best_test_accuracy
+
+    for length in stream_lengths:
+        for rng_kind in ("trng", "lfsr"):
+            for sharing in ("none", "moderate", "extreme"):
+                cfg = make_cfg(rng_kind, sharing, length)
+                _, acc = build_and_train(cfg)
+                result.accuracy[(rng_kind, sharing, length)] = acc
+                if verbose:
+                    print(
+                        f"  fig1 arm rng={rng_kind:4s} sharing={sharing:8s} "
+                        f"L={length:3d}: {acc:.3f}",
+                        flush=True,
+                    )
+
+        if include_mismatch:
+            # Mismatch check: train with TRNG, validate with LFSR.
+            for sharing in ("moderate", "extreme"):
+                cfg = make_cfg("trng", sharing, length)
+                model, _ = build_and_train(cfg)
+                swap_config(model, make_cfg("lfsr", sharing, length))
+                acc = evaluate(model, test, batch_size=scale.batch_size)
+                result.mismatch_accuracy[(sharing, length)] = acc
+                if verbose:
+                    print(
+                        f"  fig1 mismatch trained=trng eval=lfsr "
+                        f"sharing={sharing:8s} L={length:3d}: {acc:.3f}",
+                        flush=True,
+                    )
+    return result
+
+
+def render_fig1(result: Fig1Result) -> str:
+    """Render the Fig. 1 series as a table with the paper's claims."""
+    lengths = sorted({k[2] for k in result.accuracy})
+    table = Table(
+        ["rng", "sharing"] + [f"L={length}" for length in lengths],
+        title=f"Figure 1 — accuracy vs sharing (scale={result.scale_name})",
+    )
+    for rng_kind in ("trng", "lfsr"):
+        for sharing in ("none", "moderate", "extreme"):
+            row = [rng_kind, sharing]
+            for length in lengths:
+                acc = result.accuracy.get((rng_kind, sharing, length))
+                row.append("—" if acc is None else f"{100 * acc:.1f}%")
+            table.add_row(row)
+    lines = [table.render(), ""]
+    if result.mismatch_accuracy:
+        lines.append("Mismatch (trained TRNG, validated LFSR):")
+        for (sharing, length), acc in sorted(result.mismatch_accuracy.items()):
+            lines.append(f"  sharing={sharing:8s} L={length}: {100 * acc:.1f}%")
+        lines.append("")
+    lines.append("Shape claims (paper Fig. 1):")
+    for claim, ok in result.claims().items():
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {claim}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Figure 5: SC MAC-unit area vs kernel size and accumulation mode.
+
+Regenerates the paper's area comparison for SC (all-OR), PBW, PBHW, APC,
+and FXP accumulation fabrics across three-dimensional kernel sizes, and
+checks the quoted overheads: PBW up to ~1.4X / down to ~4%, PBHW up to
+~4.5X / down to ~9%, FXP >5X for most kernels, APC >3X PBW at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.area import mac_area_ratio, sc_mac_area
+from repro.utils.report import Table
+
+#: Kernel sizes swept (Cin, H, W) — spanning LeNet-5 up to VGG-16 depths.
+FIG5_KERNELS = [
+    (1, 3, 3),
+    (1, 5, 5),
+    (3, 5, 5),
+    (6, 5, 5),
+    (16, 5, 5),
+    (32, 3, 3),
+    (32, 5, 5),
+    (64, 3, 3),
+    (64, 5, 5),
+    (128, 3, 3),
+    (256, 3, 3),
+    (512, 3, 3),
+]
+
+MODES = ("sc", "pbw", "pbhw", "apc", "fxp")
+
+
+@dataclass
+class Fig5Result:
+    """Absolute GE area and ratios-to-SC per kernel and mode."""
+
+    area_ge: dict[tuple[tuple[int, int, int], str], float] = field(
+        default_factory=dict
+    )
+    ratio: dict[tuple[tuple[int, int, int], str], float] = field(
+        default_factory=dict
+    )
+
+    def claims(self) -> dict[str, bool]:
+        big = [(64, 5, 5), (128, 3, 3), (256, 3, 3), (512, 3, 3)]
+        small = [(1, 3, 3), (1, 5, 5)]
+        out = {
+            "pbw_small_kernel_up_to_1p4x": any(
+                self.ratio[(k, "pbw")] > 1.3 for k in small
+            ),
+            "pbw_large_kernel_about_4pct": all(
+                self.ratio[(k, "pbw")] < 1.06 for k in big
+            ),
+            "pbhw_small_kernel_up_to_4p5x": any(
+                self.ratio[(k, "pbhw")] > 3.5 for k in small
+            ),
+            "pbhw_large_kernel_about_9pct": all(
+                self.ratio[(k, "pbhw")] < 1.10 for k in big
+            ),
+            "fxp_over_5x_for_most": sum(
+                self.ratio[(k, "fxp")] > 5.0 for k in FIG5_KERNELS
+            )
+            > len(FIG5_KERNELS) // 2,
+            "apc_over_3x_pbw_at_scale": all(
+                self.ratio[(k, "apc")] > 3.0 * self.ratio[(k, "pbw")]
+                for k in big
+            ),
+            "apc_below_fxp": all(
+                self.ratio[(k, "apc")] < self.ratio[(k, "fxp")]
+                for k in FIG5_KERNELS
+            ),
+        }
+        return out
+
+
+def run_fig5(kernels=FIG5_KERNELS) -> Fig5Result:
+    result = Fig5Result()
+    for kernel in kernels:
+        for mode in MODES:
+            result.area_ge[(kernel, mode)] = sc_mac_area(kernel, mode).total
+            result.ratio[(kernel, mode)] = mac_area_ratio(kernel, mode)
+    return result
+
+
+def render_fig5(result: Fig5Result) -> str:
+    table = Table(
+        ["kernel (Cin,H,W)", "SC [GE]"] + [m.upper() + " /SC" for m in MODES[1:]],
+        title="Figure 5 — SC MAC-unit area by accumulation mode",
+    )
+    kernels = sorted({k for k, _ in result.area_ge})
+    for kernel in kernels:
+        row = [str(kernel), f"{result.area_ge[(kernel, 'sc')]:.0f}"]
+        row += [f"{result.ratio[(kernel, m)]:.2f}X" for m in MODES[1:]]
+        table.add_row(row)
+    lines = [table.render(), "", "Shape claims (paper Fig. 5):"]
+    for claim, ok in result.claims().items():
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {claim}")
+    return "\n".join(lines)

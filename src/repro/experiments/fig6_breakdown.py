@@ -1,0 +1,121 @@
+"""Figure 6: normalized area/energy/latency breakdowns for the GEO
+optimization ladder (Base-128,128 -> GEO-GEN-128,128 -> GEO-GEN-EXEC-32,64)
+on SVHN CNN-4 at the ULP design point.
+
+Checked against the paper: generation optimizations cost ~-1% area while
+delivering ~1.7X speedup and ~1.6X energy reduction; adding the execution
+optimizations stays within ~2% of baseline area while reaching >4X latency
+and >5X energy reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch import (
+    BASE_ULP,
+    FIG6_COMPONENTS,
+    GEO_GEN_EXEC_ULP,
+    GEO_GEN_ULP,
+    PerfReport,
+    STREAMS_128_128,
+    STREAMS_32_64,
+    simulate,
+)
+from repro.models.shapes import cnn4_shapes
+from repro.utils.report import Table
+
+CONFIG_POINTS = (
+    (BASE_ULP, STREAMS_128_128),
+    (GEO_GEN_ULP, STREAMS_128_128),
+    (GEO_GEN_EXEC_ULP, STREAMS_32_64),
+)
+
+PAPER_RATIOS = {
+    "GEO-GEN-128,128": {"speedup": 1.7, "energy": 1.6, "area_delta": -0.01},
+    "GEO-GEN-EXEC-32,64": {"speedup": 4.3, "energy": 5.2, "area_delta": 0.02},
+}
+
+
+@dataclass
+class Fig6Result:
+    reports: dict[str, PerfReport] = field(default_factory=dict)
+
+    @property
+    def base(self) -> PerfReport:
+        return self.reports["Base-128,128"]
+
+    def normalized(self, name: str) -> dict[str, float]:
+        report = self.reports[name]
+        return {
+            "area": report.total_area_mm2 / self.base.total_area_mm2,
+            "energy": report.energy_per_frame_j / self.base.energy_per_frame_j,
+            "latency": report.total_cycles / self.base.total_cycles,
+        }
+
+    def claims(self) -> dict[str, bool]:
+        gen = self.normalized("GEO-GEN-128,128")
+        genexec = self.normalized("GEO-GEN-EXEC-32,64")
+        return {
+            "gen_area_within_pct_of_base": abs(gen["area"] - 1.0) < 0.03,
+            "gen_speedup_about_1p7": 1.4 < 1 / gen["latency"] < 2.2,
+            "gen_energy_about_1p6": 1.3 < 1 / gen["energy"] < 2.1,
+            "gen_exec_area_within_pct_of_base": abs(genexec["area"] - 1.0) < 0.05,
+            "gen_exec_speedup_over_4x": 1 / genexec["latency"] > 4.0,
+            "gen_exec_energy_over_5x": 1 / genexec["energy"] > 4.5,
+        }
+
+
+def run_fig6(input_size: int = 32) -> Fig6Result:
+    """Simulate SVHN CNN-4 inference on the three ULP design points."""
+    layers = cnn4_shapes(input_size)
+    result = Fig6Result()
+    for arch, streams in CONFIG_POINTS:
+        result.reports[arch.name] = simulate(layers, arch, streams)
+    return result
+
+
+def render_fig6(result: Fig6Result) -> str:
+    lines = []
+    table = Table(
+        ["config", "norm. area", "norm. energy", "norm. latency",
+         "paper speedup", "paper energy"],
+        title="Figure 6 — normalized area / energy / latency (SVHN CNN-4, ULP)",
+    )
+    for name in result.reports:
+        norm = result.normalized(name)
+        paper = PAPER_RATIOS.get(name, {})
+        table.add_row(
+            [
+                name,
+                f"{norm['area']:.3f}",
+                f"{norm['energy']:.3f}",
+                f"{norm['latency']:.3f}",
+                f"{paper['speedup']:.1f}X" if paper else "1.0X",
+                f"{paper['energy']:.1f}X" if paper else "1.0X",
+            ]
+        )
+    lines.append(table.render())
+    lines.append("")
+
+    breakdown = Table(
+        ["component"] + list(result.reports),
+        title="Per-component energy share (fraction of each config's dynamic energy)",
+    )
+    shares = {
+        name: report.energy_breakdown_pj()
+        for name, report in result.reports.items()
+    }
+    for component in FIG6_COMPONENTS + ["Near-Mem Compute"]:
+        row = [component]
+        for name in result.reports:
+            total = sum(shares[name].values())
+            value = shares[name].get(component, 0.0)
+            row.append(f"{100 * value / total:.1f}%" if total else "—")
+        breakdown.add_row(row)
+    lines.append(breakdown.render())
+    lines.append("")
+    lines.append("Shape claims (paper Fig. 6):")
+    for claim, ok in result.claims().items():
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {claim}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Model zoo: CNN-4, LeNet-5, reduced VGG-16 — FP, fixed-point, and SC
+variants, plus full-scale shape descriptors for the architecture model."""
+
+from repro.models.cnn4 import cnn4_fp, cnn4_sc
+from repro.models.lenet5 import lenet5_fp, lenet5_sc
+from repro.models.vgg16 import vgg16_fp, vgg16_sc
+from repro.models.common import QuantizedBatchNorm2d
+from repro.models.shapes import (
+    LayerShape,
+    NETWORK_SHAPES,
+    cnn4_shapes,
+    lenet5_shapes,
+    total_macs,
+    total_weights,
+    vgg16_shapes,
+)
+
+__all__ = [
+    "cnn4_fp",
+    "cnn4_sc",
+    "lenet5_fp",
+    "lenet5_sc",
+    "vgg16_fp",
+    "vgg16_sc",
+    "QuantizedBatchNorm2d",
+    "LayerShape",
+    "NETWORK_SHAPES",
+    "cnn4_shapes",
+    "lenet5_shapes",
+    "total_macs",
+    "total_weights",
+    "vgg16_shapes",
+]

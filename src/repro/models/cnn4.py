@@ -1,0 +1,103 @@
+"""CNN-4: the CMSIS-NN 4-layer CNN the paper evaluates on CIFAR-10/SVHN.
+
+Full shape (Lai, Suda, Chandra — CMSIS-NN): three 5x5 convolutions
+(32, 32, 64 channels), each followed by pooling, then a fully-connected
+classifier. For the CPU-budgeted quick experiments a ``width_mult`` /
+``kernel_size`` / ``input_size`` reduction is exposed; EXPERIMENTS.md
+records which scale each experiment ran at.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.common import (
+    build_sequential,
+    conv_block_fp,
+    conv_block_sc,
+    make_quant_linear,
+    scaled_channels,
+)
+from repro.nn.layers import Flatten, Sequential
+from repro.scnn.config import SCConfig
+from repro.scnn.layers import SCLinear
+
+_BASE_CHANNELS = (32, 32, 64)
+
+
+def _feature_size(input_size: int) -> int:
+    if input_size % 8:
+        raise ConfigurationError(
+            f"CNN-4 needs input divisible by 8 (three 2x pools), got {input_size}"
+        )
+    return input_size // 8
+
+
+def cnn4_fp(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    input_size: int = 32,
+    width_mult: float = 1.0,
+    kernel_size: int = 5,
+    batch_norm: bool = True,
+    quant_bits: int | None = None,
+    seed: int = 0,
+) -> Sequential:
+    """Floating-point (or fake-quantized fixed-point) CNN-4."""
+    rng = np.random.default_rng(seed)
+    chs = [scaled_channels(c, width_mult) for c in _BASE_CHANNELS]
+    blocks = []
+    prev = in_channels
+    for ch in chs:
+        blocks.append(
+            conv_block_fp(
+                prev, ch, kernel_size, pool=True, rng=rng,
+                batch_norm=batch_norm, quant_bits=quant_bits,
+            )
+        )
+        prev = ch
+    spatial = _feature_size(input_size)
+    features = chs[-1] * spatial * spatial
+    head = [Flatten(), make_quant_linear(features, num_classes, rng, quant_bits)]
+    return build_sequential(blocks + [head])
+
+
+def cnn4_sc(
+    cfg: SCConfig,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    input_size: int = 32,
+    width_mult: float = 1.0,
+    kernel_size: int = 5,
+    batch_norm: bool = True,
+    seed: int = 0,
+) -> Sequential:
+    """SC-simulated CNN-4 under the given :class:`SCConfig`.
+
+    All three convolutions are followed by pooling, so they run at the
+    ``stream_length_pooling`` length; the classifier runs at the
+    128-bit-default ``output_stream_length`` (paper Sec. IV).
+    """
+    rng = np.random.default_rng(seed)
+    chs = [scaled_channels(c, width_mult) for c in _BASE_CHANNELS]
+    blocks = []
+    prev = in_channels
+    for i, ch in enumerate(chs):
+        blocks.append(
+            conv_block_sc(
+                prev, ch, kernel_size, pool=True, cfg=cfg,
+                layer_index=i, rng=rng, batch_norm=batch_norm,
+            )
+        )
+        prev = ch
+    spatial = _feature_size(input_size)
+    features = chs[-1] * spatial * spatial
+    head = [
+        Flatten(),
+        SCLinear(
+            features, num_classes, cfg, role="output",
+            layer_index=len(chs), rng=rng,
+        ),
+    ]
+    return build_sequential(blocks + [head])

@@ -1,0 +1,119 @@
+"""Shared model-building helpers for FP and SC variants.
+
+GEO's layer ordering (paper Sec. III-B): convolution, then average pooling
+(computation skipping), then 8-bit fixed-point batch normalization, then
+ReLU — "pooling is placed before ReLU activations, so that BN can be
+performed on pooled activations".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.quant import QuantizedConv2d, QuantizedLinear
+from repro.nn.tensor import Tensor
+from repro.scnn.config import SCConfig
+from repro.scnn.layers import SCConv2d
+
+
+def scaled_channels(base: int, width_mult: float) -> int:
+    """Scale a channel count, keeping at least 4 channels."""
+    return max(4, int(round(base * width_mult)))
+
+
+class QuantizedBatchNorm2d(BatchNorm2d):
+    """Batch norm whose output is fake-quantized to ``bits`` — GEO's
+    8-bit fixed-point BN (Sec. III-B)."""
+
+    def __init__(self, num_features: int, bits: int = 8, **kwargs):
+        super().__init__(num_features, **kwargs)
+        self.bits = bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn.quant import fake_quantize
+
+        return fake_quantize(super().forward(x), self.bits)
+
+
+def conv_block_fp(
+    in_ch: int,
+    out_ch: int,
+    kernel: int,
+    pool: bool,
+    rng: np.random.Generator,
+    batch_norm: bool = True,
+    quant_bits: int | None = None,
+) -> list[Module]:
+    """FP (or fake-quantized fixed-point) conv block in GEO ordering."""
+    padding = kernel // 2
+    if quant_bits is None:
+        conv = Conv2d(in_ch, out_ch, kernel, padding=padding, bias=not batch_norm, rng=rng)
+    else:
+        conv = QuantizedConv2d(
+            in_ch, out_ch, kernel, padding=padding,
+            bias=not batch_norm, rng=rng, bits=quant_bits,
+        )
+    layers: list[Module] = [conv]
+    if pool:
+        layers.append(AvgPool2d(2))
+    if batch_norm:
+        layers.append(BatchNorm2d(out_ch))
+    layers.append(ReLU())
+    return layers
+
+
+def conv_block_sc(
+    in_ch: int,
+    out_ch: int,
+    kernel: int,
+    pool: bool,
+    cfg: SCConfig,
+    layer_index: int,
+    rng: np.random.Generator,
+    batch_norm: bool = True,
+) -> list[Module]:
+    """SC conv block: SC conv, pooling, quantized BN, ReLU."""
+    role = "pooling" if pool else "plain"
+    layers: list[Module] = [
+        SCConv2d(
+            in_ch,
+            out_ch,
+            kernel,
+            cfg,
+            padding=kernel // 2,
+            role=role,
+            layer_index=layer_index,
+            rng=rng,
+        )
+    ]
+    if pool:
+        layers.append(AvgPool2d(2))
+    if batch_norm:
+        layers.append(QuantizedBatchNorm2d(out_ch, bits=8))
+    layers.append(ReLU())
+    return layers
+
+
+def build_sequential(blocks: list[list[Module]]) -> Sequential:
+    return Sequential(*[m for block in blocks for m in block])
+
+
+def make_quant_linear(
+    in_features: int,
+    out_features: int,
+    rng: np.random.Generator,
+    quant_bits: int | None,
+):
+    from repro.nn.layers import Linear
+
+    if quant_bits is None:
+        return Linear(in_features, out_features, rng=rng)
+    return QuantizedLinear(in_features, out_features, rng=rng, bits=quant_bits)

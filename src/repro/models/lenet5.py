@@ -1,0 +1,91 @@
+"""LeNet-5 for MNIST (paper Table I, Table II throughput rows)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.common import (
+    build_sequential,
+    conv_block_fp,
+    conv_block_sc,
+    make_quant_linear,
+    scaled_channels,
+)
+from repro.nn.layers import Flatten, ReLU, Sequential
+from repro.scnn.config import SCConfig
+from repro.scnn.layers import SCLinear
+
+
+def _spatial_after(input_size: int, kernel: int) -> int:
+    # Two valid-padding blocks? LeNet-5 classically uses 'same'-ish 28x28
+    # -> pool -> 14 -> pool -> 7; we use padded convs + two 2x pools.
+    return input_size // 4
+
+
+def lenet5_fp(
+    num_classes: int = 10,
+    in_channels: int = 1,
+    input_size: int = 28,
+    width_mult: float = 1.0,
+    kernel_size: int = 5,
+    batch_norm: bool = True,
+    quant_bits: int | None = None,
+    seed: int = 0,
+) -> Sequential:
+    """Floating-point / fixed-point LeNet-5 (6 and 16 feature maps,
+    FC-120, FC-84 head)."""
+    rng = np.random.default_rng(seed)
+    c1 = scaled_channels(6, width_mult)
+    c2 = scaled_channels(16, width_mult)
+    blocks = [
+        conv_block_fp(in_channels, c1, kernel_size, True, rng, batch_norm, quant_bits),
+        conv_block_fp(c1, c2, kernel_size, True, rng, batch_norm, quant_bits),
+    ]
+    spatial = _spatial_after(input_size, kernel_size)
+    features = c2 * spatial * spatial
+    f1 = scaled_channels(120, width_mult)
+    f2 = scaled_channels(84, width_mult)
+    head = [
+        Flatten(),
+        make_quant_linear(features, f1, rng, quant_bits),
+        ReLU(),
+        make_quant_linear(f1, f2, rng, quant_bits),
+        ReLU(),
+        make_quant_linear(f2, num_classes, rng, quant_bits),
+    ]
+    return build_sequential(blocks + [head])
+
+
+def lenet5_sc(
+    cfg: SCConfig,
+    num_classes: int = 10,
+    in_channels: int = 1,
+    input_size: int = 28,
+    width_mult: float = 1.0,
+    kernel_size: int = 5,
+    batch_norm: bool = True,
+    seed: int = 0,
+) -> Sequential:
+    """SC-simulated LeNet-5: both convs run at the pooling stream length,
+    hidden FCs at the plain length, and the classifier at the output
+    length (always 128 bits in the paper)."""
+    rng = np.random.default_rng(seed)
+    c1 = scaled_channels(6, width_mult)
+    c2 = scaled_channels(16, width_mult)
+    blocks = [
+        conv_block_sc(in_channels, c1, kernel_size, True, cfg, 0, rng, batch_norm),
+        conv_block_sc(c1, c2, kernel_size, True, cfg, 1, rng, batch_norm),
+    ]
+    spatial = _spatial_after(input_size, kernel_size)
+    features = c2 * spatial * spatial
+    f1 = scaled_channels(120, width_mult)
+    f2 = scaled_channels(84, width_mult)
+    head = [
+        Flatten(),
+        SCLinear(features, f1, cfg, role="plain", layer_index=2, rng=rng),
+        ReLU(),
+        SCLinear(f1, f2, cfg, role="plain", layer_index=3, rng=rng),
+        ReLU(),
+        SCLinear(f2, num_classes, cfg, role="output", layer_index=4, rng=rng),
+    ]
+    return build_sequential(blocks + [head])

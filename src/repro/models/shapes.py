@@ -1,0 +1,139 @@
+"""Full-scale layer-shape descriptors for the architecture simulator.
+
+The performance model (Tables II/III, Fig. 6) always simulates the
+*full-size* networks the paper evaluates — independent of whatever reduced
+width the CPU-budget accuracy runs use. Each descriptor carries everything
+the compiler/dataflow model needs: tensor dimensions, kernel, stride,
+padding, and whether the layer is followed by pooling (which selects the
+shorter ``sp`` stream length and enables computation skipping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One network layer as the accelerator sees it."""
+
+    name: str
+    kind: str  # "conv" | "fc"
+    in_channels: int
+    out_channels: int
+    kernel: int
+    input_size: int  # spatial H = W before the layer (1 for fc)
+    stride: int = 1
+    padding: int = 0
+    pooled: bool = False  # followed by 2x2 average pooling
+
+    def __post_init__(self):
+        if self.kind not in ("conv", "fc"):
+            raise ConfigurationError(f"unknown layer kind {self.kind!r}")
+        if self.kind == "fc" and self.input_size != 1:
+            raise ConfigurationError("fc layers must have input_size == 1")
+
+    @property
+    def output_size(self) -> int:
+        if self.kind == "fc":
+            return 1
+        out = (self.input_size + 2 * self.padding - self.kernel) // self.stride + 1
+        return out // 2 if self.pooled else out
+
+    @property
+    def conv_output_size(self) -> int:
+        """Spatial size before pooling."""
+        if self.kind == "fc":
+            return 1
+        return (self.input_size + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def kernel_volume(self) -> int:
+        """MAC products per output value: Cin * K * K."""
+        return self.in_channels * self.kernel * self.kernel
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates for one inference of this layer."""
+        outputs = self.out_channels * self.conv_output_size**2
+        return outputs * self.kernel_volume
+
+    @property
+    def weights(self) -> int:
+        return self.out_channels * self.kernel_volume
+
+    @property
+    def input_elements(self) -> int:
+        return self.in_channels * self.input_size**2
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_channels * self.output_size**2
+
+
+def cnn4_shapes(input_size: int = 32, in_channels: int = 3) -> list[LayerShape]:
+    """CNN-4 (CMSIS-NN): 32-32-64 5x5 convs, all pooled, FC classifier."""
+    s = input_size
+    layers = [
+        LayerShape("conv1", "conv", in_channels, 32, 5, s, padding=2, pooled=True),
+        LayerShape("conv2", "conv", 32, 32, 5, s // 2, padding=2, pooled=True),
+        LayerShape("conv3", "conv", 32, 64, 5, s // 4, padding=2, pooled=True),
+        LayerShape("fc", "fc", 64 * (s // 8) ** 2, 10, 1, 1),
+    ]
+    return layers
+
+
+def lenet5_shapes(input_size: int = 28, in_channels: int = 1) -> list[LayerShape]:
+    """LeNet-5: 6 and 16 5x5 feature maps, FC-120/84/10 head."""
+    s = input_size
+    return [
+        LayerShape("conv1", "conv", in_channels, 6, 5, s, padding=2, pooled=True),
+        LayerShape("conv2", "conv", 6, 16, 5, s // 2, padding=2, pooled=True),
+        LayerShape("fc1", "fc", 16 * (s // 4) ** 2, 120, 1, 1),
+        LayerShape("fc2", "fc", 120, 84, 1, 1),
+        LayerShape("fc3", "fc", 84, 10, 1, 1),
+    ]
+
+
+def vgg16_shapes(input_size: int = 32, in_channels: int = 3) -> list[LayerShape]:
+    """Reduced VGG-16 (downscaled X/Y, FC-512)."""
+    plan = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+            512, 512, 512, "M", 512, 512, 512, "M"]
+    layers: list[LayerShape] = []
+    size = input_size
+    prev = in_channels
+    conv_index = 0
+    for i, entry in enumerate(plan):
+        if entry == "M":
+            size //= 2
+            continue
+        pooled = i + 1 < len(plan) and plan[i + 1] == "M"
+        conv_index += 1
+        layers.append(
+            LayerShape(
+                f"conv{conv_index}", "conv", prev, entry, 3, size,
+                padding=1, pooled=pooled,
+            )
+        )
+        prev = entry
+    features = prev * size * size
+    layers.append(LayerShape("fc1", "fc", features, 512, 1, 1))
+    layers.append(LayerShape("fc2", "fc", 512, 10, 1, 1))
+    return layers
+
+
+NETWORK_SHAPES = {
+    "cnn4": cnn4_shapes,
+    "lenet5": lenet5_shapes,
+    "vgg16": vgg16_shapes,
+}
+
+
+def total_macs(layers: list[LayerShape]) -> int:
+    return sum(layer.macs for layer in layers)
+
+
+def total_weights(layers: list[LayerShape]) -> int:
+    return sum(layer.weights for layer in layers)

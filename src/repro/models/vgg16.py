@@ -1,0 +1,112 @@
+"""Reduced VGG-16 (paper Sec. IV): "VGG-16 has the X/Y input dimensions of
+each layer downscaled, and the fully-connected layers reduced to FC-512
+instead of FC-4096 to accommodate the smaller image sizes."
+
+The standard 13-convolution VGG-16 plan is kept; ``width_mult`` scales the
+channel counts for the CPU-budgeted quick experiments (the architecture
+simulator always models the full-width network — only the accuracy
+training runs are scaled).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.common import (
+    build_sequential,
+    conv_block_fp,
+    conv_block_sc,
+    make_quant_linear,
+    scaled_channels,
+)
+from repro.nn.layers import Flatten, ReLU, Sequential
+from repro.scnn.config import SCConfig
+from repro.scnn.layers import SCLinear
+
+# Standard VGG-16 plan: channel count, or "M" marking the pool boundary.
+# A conv immediately before a pool runs at the pooling stream length.
+VGG16_PLAN = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"]
+
+
+def _conv_layers(plan):
+    """Expand the plan into (channels, pooled) conv descriptors."""
+    layers = []
+    for i, entry in enumerate(plan):
+        if entry == "M":
+            continue
+        pooled = i + 1 < len(plan) and plan[i + 1] == "M"
+        layers.append((entry, pooled))
+    return layers
+
+
+def vgg16_fp(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    input_size: int = 32,
+    width_mult: float = 1.0,
+    batch_norm: bool = True,
+    quant_bits: int | None = None,
+    seed: int = 0,
+) -> Sequential:
+    """Floating-point / fixed-point reduced VGG-16 (FC-512 head)."""
+    if input_size % 32:
+        raise ConfigurationError(
+            f"VGG-16 needs input divisible by 32 (five pools), got {input_size}"
+        )
+    rng = np.random.default_rng(seed)
+    blocks = []
+    prev = in_channels
+    for base_ch, pooled in _conv_layers(VGG16_PLAN):
+        ch = scaled_channels(base_ch, width_mult)
+        blocks.append(
+            conv_block_fp(prev, ch, 3, pooled, rng, batch_norm, quant_bits)
+        )
+        prev = ch
+    spatial = input_size // 32
+    features = prev * spatial * spatial
+    fc = scaled_channels(512, width_mult)
+    head = [
+        Flatten(),
+        make_quant_linear(features, fc, rng, quant_bits),
+        ReLU(),
+        make_quant_linear(fc, num_classes, rng, quant_bits),
+    ]
+    return build_sequential(blocks + [head])
+
+
+def vgg16_sc(
+    cfg: SCConfig,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    input_size: int = 32,
+    width_mult: float = 1.0,
+    batch_norm: bool = True,
+    seed: int = 0,
+) -> Sequential:
+    """SC-simulated reduced VGG-16."""
+    if input_size % 32:
+        raise ConfigurationError(
+            f"VGG-16 needs input divisible by 32 (five pools), got {input_size}"
+        )
+    rng = np.random.default_rng(seed)
+    blocks = []
+    prev = in_channels
+    for i, (base_ch, pooled) in enumerate(_conv_layers(VGG16_PLAN)):
+        ch = scaled_channels(base_ch, width_mult)
+        blocks.append(
+            conv_block_sc(prev, ch, 3, pooled, cfg, i, rng, batch_norm)
+        )
+        prev = ch
+    spatial = input_size // 32
+    features = prev * spatial * spatial
+    fc = scaled_channels(512, width_mult)
+    n_convs = len(_conv_layers(VGG16_PLAN))
+    head = [
+        Flatten(),
+        SCLinear(features, fc, cfg, role="plain", layer_index=n_convs, rng=rng),
+        ReLU(),
+        SCLinear(fc, num_classes, cfg, role="output", layer_index=n_convs + 1, rng=rng),
+    ]
+    return build_sequential(blocks + [head])

@@ -1,0 +1,58 @@
+"""From-scratch numpy NN training substrate (the PyTorch stand-in).
+
+Provides reverse-mode autograd (:class:`~repro.nn.tensor.Tensor`),
+im2col-based convolution, batch normalization, pooling, losses, ADAM/SGD
+optimizers, minibatch loading, and fixed-point quantization — everything
+the paper's training methodology (Sec. IV) needs from PyTorch.
+"""
+
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack, is_grad_enabled
+from repro.nn import functional
+from repro.nn.layers import (
+    AvgPool2d,
+    Dropout,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.optim import Adam, Optimizer, SGD, StepLR
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn import init, quant
+from repro.nn.serialize import load_checkpoint, peek_metadata, save_checkpoint
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "no_grad",
+    "stack",
+    "is_grad_enabled",
+    "functional",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "ReLU",
+    "Sequential",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+    "ArrayDataset",
+    "DataLoader",
+    "init",
+    "quant",
+    "load_checkpoint",
+    "peek_metadata",
+    "save_checkpoint",
+]

@@ -1,0 +1,57 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # (Fout, Fin)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # (Cout, Cin, KH, KW)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
+    """He initialization (uniform variant) for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot initialization for linear/sigmoid-ish layers."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def scaled_sc_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    scale: float = 1.0,
+    or_group_size: int | None = None,
+) -> np.ndarray:
+    """Initialization for SC layers: weights start inside the
+    representable ``[-scale, scale]`` split-unipolar range, biased small so
+    OR accumulation starts well away from saturation.
+
+    ``or_group_size`` is the number of products OR-reduced together by
+    the layer's accumulation mode. The expected OR output is
+    ``1 - prod(1 - a_k w_k)``; with activations averaging ~0.25, keeping
+    ``group_size * 0.25 * E|w|`` around 1 leaves the OR gates in their
+    responsive region instead of pinned at 1 — without this, wide all-OR
+    layers start fully saturated and receive no gradient signal.
+    """
+    fan_in, _ = _fan_in_out(shape)
+    bound = min(scale, 2.0 / np.sqrt(fan_in))
+    if or_group_size is not None and or_group_size > 1:
+        bound = min(bound, 8.0 / or_group_size)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)

@@ -1,0 +1,276 @@
+"""Module system: composable layers with parameter management.
+
+A thin nn.Module equivalent: modules own :class:`~repro.nn.tensor.Tensor`
+parameters and numpy buffers, expose recursive ``parameters()``, and switch
+between train and eval behaviour (batch-norm statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- parameter / submodule discovery -----------------------------------
+
+    def parameters(self) -> Iterator[Tensor]:
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state dict ----------------------------------------------------------
+
+    def state_dict(self, prefix: str = "") -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor):
+                state[key] = value.data.copy()
+            elif isinstance(value, np.ndarray):
+                state[key] = value.copy()
+            elif isinstance(value, Module):
+                state.update(value.state_dict(prefix=f"{key}."))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        state.update(item.state_dict(prefix=f"{key}.{i}."))
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor) and key in state:
+                if value.data.shape != state[key].shape:
+                    raise ConfigurationError(
+                        f"shape mismatch for {key}: "
+                        f"{value.data.shape} vs {state[key].shape}"
+                    )
+                value.data = state[key].astype(np.float32).copy()
+            elif isinstance(value, np.ndarray) and key in state:
+                value[...] = state[key]
+            elif isinstance(value, Module):
+                value.load_state_dict(state, prefix=f"{key}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item.load_state_dict(state, prefix=f"{key}.{i}.")
+
+    # -- call ----------------------------------------------------------------
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+
+class Conv2d(Module):
+    """2-D convolution layer."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Tensor(init.kaiming_uniform(shape, rng), requires_grad=True)
+        self.bias = (
+            Tensor(np.zeros(out_channels, dtype=np.float32), requires_grad=True)
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+
+class Linear(Module):
+    """Fully-connected layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            init.kaiming_uniform((out_features, in_features), rng),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features, dtype=np.float32), requires_grad=True)
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over channel axis of (N, C, H, W)."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Tensor(np.ones(num_features, dtype=np.float32), requires_grad=True)
+        self.beta = Tensor(np.zeros(num_features, dtype=np.float32), requires_grad=True)
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class BatchNorm1d(BatchNorm2d):
+    """Batch normalization over (N, C) feature vectors."""
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    The paper's networks do not use dropout, but full-scale training runs
+    of the reproduction benefit from it on the small synthetic datasets.
+    """
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = (self._rng.random(x.shape) >= self.p).astype(np.float32)
+        scale = 1.0 / (1.0 - self.p)
+        return x * Tensor(keep * scale)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

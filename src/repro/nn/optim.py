@@ -1,0 +1,124 @@
+"""Gradient-descent optimizers.
+
+The paper trains with ADAM at an initial learning rate of 2e-3
+(Sec. IV); :class:`Adam` replicates the standard Kingma-Ba update, and
+:class:`SGD` (with momentum) is provided for ablation runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer: owns a parameter list, steps on their ``.grad``."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer received no parameters")
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            p.data = p.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """ADAM optimizer (Kingma & Ba), the paper's training choice."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 2e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not (0 <= betas[0] < 1 and 0 <= betas[1] < 1):
+            raise ConfigurationError(f"invalid betas {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= b1
+            m += (1.0 - b1) * grad
+            v *= b2
+            v += (1.0 - b2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepLR:
+    """Step learning-rate schedule: multiply lr by ``gamma`` every
+    ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size < 1:
+            raise ConfigurationError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

@@ -1,0 +1,84 @@
+"""Fixed-point quantization for the Eyeriss-style baselines.
+
+Table I compares GEO against Eyeriss retrained at 8-bit and 4-bit
+precision. This module provides symmetric uniform quantization with a
+straight-through estimator so the fixed-point baselines can be trained
+quantization-aware, mirroring "Eyeriss results are retrained at respective
+precision".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Conv2d, Linear, Module
+from repro.nn.tensor import Tensor
+
+
+def quantize_symmetric(values: np.ndarray, bits: int) -> np.ndarray:
+    """Symmetric per-tensor quantization to ``bits`` (including sign).
+
+    The scale maps the max-abs value onto the largest code, the standard
+    post-training scheme; zero maps to code 0 exactly.
+    """
+    if bits < 2:
+        raise ConfigurationError("need at least 2 bits for signed values")
+    values = np.asarray(values, dtype=np.float64)
+    max_abs = float(np.abs(values).max())
+    if max_abs == 0.0:
+        return values.astype(np.float32)
+    qmax = 2 ** (bits - 1) - 1
+    scale = max_abs / qmax
+    return (np.clip(np.rint(values / scale), -qmax - 1, qmax) * scale).astype(
+        np.float32
+    )
+
+
+def fake_quantize(x: Tensor, bits: int) -> Tensor:
+    """Straight-through fake quantization: quantized forward, identity
+    backward — the standard quantization-aware-training trick."""
+    quantized = quantize_symmetric(x.data, bits)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad)
+
+    return Tensor._make(quantized, (x,), backward)
+
+
+class QuantizedConv2d(Conv2d):
+    """Conv2d whose weights and activations are fake-quantized to ``bits``."""
+
+    def __init__(self, *args, bits: int = 8, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.bits = bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn import functional as F
+
+        w_q = fake_quantize(self.weight, self.bits)
+        x_q = fake_quantize(x, self.bits)
+        return F.conv2d(x_q, w_q, self.bias, self.stride, self.padding)
+
+
+class QuantizedLinear(Linear):
+    """Linear layer with fake-quantized weights and activations."""
+
+    def __init__(self, *args, bits: int = 8, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.bits = bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn import functional as F
+
+        w_q = fake_quantize(self.weight, self.bits)
+        x_q = fake_quantize(x, self.bits)
+        return F.linear(x_q, w_q, self.bias)
+
+
+def quantize_module_weights(module: Module, bits: int) -> None:
+    """Post-training quantization: overwrite every parameter in place with
+    its ``bits``-bit symmetric quantization."""
+    for p in module.parameters():
+        p.data = quantize_symmetric(p.data, bits)

@@ -1,0 +1,89 @@
+"""Model checkpointing: save/load state dicts as ``.npz`` archives.
+
+Training-based experiments at ``standard``/``full`` scale take minutes to
+hours; checkpointing lets users train once and re-evaluate under many SC
+configurations (e.g. the Fig. 1 mismatch arm, or stream-length sweeps via
+:func:`repro.scnn.layers.swap_config`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Module
+
+_META_KEY = "__checkpoint_meta__"
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    model: Module,
+    path: "str | Path",
+    metadata: dict | None = None,
+) -> Path:
+    """Write a model's state dict (parameters + buffers) to ``path``.
+
+    ``metadata`` (JSON-serializable) travels with the checkpoint — use it
+    for the SCConfig, scale, and accuracy of the run.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    state = model.state_dict()
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "num_arrays": len(state),
+        "num_parameters": model.num_parameters(),
+        "user": metadata or {},
+    }
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(
+    model: Module,
+    path: "str | Path",
+) -> dict:
+    """Load a checkpoint into ``model`` (shapes validated); returns the
+    stored user metadata."""
+    path = Path(path)
+    if not path.exists():
+        alt = path.with_suffix(".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise ConfigurationError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ConfigurationError(
+                f"{path} is not a repro checkpoint (missing metadata)"
+            )
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint version {meta.get('format_version')}"
+            )
+        state = {
+            key: archive[key] for key in archive.files if key != _META_KEY
+        }
+    model.load_state_dict(state)
+    return meta.get("user", {})
+
+
+def peek_metadata(path: "str | Path") -> dict:
+    """Read a checkpoint's user metadata without touching any model."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ConfigurationError(f"{path} is not a repro checkpoint")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    return meta.get("user", {})

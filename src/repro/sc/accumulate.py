@@ -1,0 +1,170 @@
+"""Partial binary accumulation (paper Sec. III-B).
+
+A convolution accumulates products over a ``(Cin, H, W)`` kernel. GEO
+splits that accumulation between the stochastic and fixed-point domains:
+
+* ``SC``   — all levels use OR (cheapest, most saturation error);
+* ``PBW``  — the ``W`` (kernel-width) dimension is accumulated in fixed
+  point: for each of the ``W`` taps the ``(Cin, H)`` products are
+  OR-reduced, then a ``W``-input parallel counter adds the ``W`` group
+  bits every cycle (GEO's default — +4.5/+9.4 accuracy points over
+  all-OR at 128/32-bit streams);
+* ``PBHW`` — both ``H`` and ``W`` in fixed point (``H*W`` OR groups, a
+  ``H*W``-input counter; <0.5 points better than PBW but ~5X the adders
+  for 5x5 kernels);
+* ``FXP``  — everything in fixed point (an exact parallel counter over all
+  ``Cin*H*W`` products; the accuracy ceiling and the area ceiling);
+* ``APC``  — approximate parallel counter over all products (one
+  approximate SC level, then binary).
+
+All functions take product streams with the kernel unrolled as explicit
+``(Cin, H, W)`` axes and return the per-output integer count accumulated
+over the stream (the value an output converter's counter register holds).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sc.ops import apc_accumulate
+from repro.sc.streams import StreamBatch
+from repro.utils.bitops import popcount_packed
+
+
+class AccumulationMode(str, Enum):
+    """Where the SC/fixed-point accumulation split falls."""
+
+    SC = "sc"
+    PBW = "pbw"
+    PBHW = "pbhw"
+    FXP = "fxp"
+    APC = "apc"
+
+    @classmethod
+    def parse(cls, value: "AccumulationMode | str") -> "AccumulationMode":
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).lower())
+
+
+def binary_group_count(mode: AccumulationMode, cin: int, h: int, w: int) -> int:
+    """Number of streams entering the fixed-point stage per output.
+
+    This is also the parallel-counter input width the hardware needs,
+    which drives the Fig. 5 area model.
+    """
+    mode = AccumulationMode.parse(mode)
+    if mode is AccumulationMode.SC:
+        return 1
+    if mode is AccumulationMode.PBW:
+        return w
+    if mode is AccumulationMode.PBHW:
+        return h * w
+    return cin * h * w  # FXP and APC count every product stream
+
+
+def accumulate_products(
+    products: StreamBatch,
+    mode: AccumulationMode | str,
+    kernel_shape: tuple[int, int, int],
+) -> np.ndarray:
+    """Accumulate product streams under a partial-binary mode.
+
+    Parameters
+    ----------
+    products:
+        Stream batch whose *last three* logical axes are ``(Cin, H, W)``
+        (any leading batch/output axes are carried through).
+    mode:
+        One of :class:`AccumulationMode`.
+    kernel_shape:
+        ``(Cin, H, W)`` — validated against the stream shape.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer counts of shape ``products.shape[:-3]``: the fixed-point
+        accumulator contents after the full stream has been processed.
+        For ``SC`` mode the count is the popcount of the single OR-reduced
+        output stream (range ``[0, length]``); for ``PBW`` the range is
+        ``[0, W * length]``; and so on — the growing dynamic range is
+        exactly why the paper adds fixed-point batch normalization.
+    """
+    mode = AccumulationMode.parse(mode)
+    cin, h, w = kernel_shape
+    if products.shape[-3:] != (cin, h, w):
+        raise ShapeError(
+            f"product streams have kernel axes {products.shape[-3:]}, "
+            f"expected {(cin, h, w)}"
+        )
+    packed = products.packed  # (..., Cin, H, W, words)
+
+    if mode is AccumulationMode.SC:
+        or_all = np.bitwise_or.reduce(
+            packed.reshape(packed.shape[:-4] + (cin * h * w, -1)), axis=-2
+        )
+        return popcount_packed(or_all)
+
+    if mode is AccumulationMode.PBW:
+        # OR over (Cin, H) per W tap, then count the W group bits.
+        grouped = np.bitwise_or.reduce(
+            np.bitwise_or.reduce(packed, axis=-4), axis=-3
+        )  # (..., W, words)
+        return popcount_packed(grouped).sum(axis=-1, dtype=np.int64)
+
+    if mode is AccumulationMode.PBHW:
+        grouped = np.bitwise_or.reduce(packed, axis=-4)  # (..., H, W, words)
+        counts = popcount_packed(grouped)
+        return counts.sum(axis=(-2, -1), dtype=np.int64)
+
+    if mode is AccumulationMode.FXP:
+        counts = popcount_packed(packed)
+        return counts.sum(axis=(-3, -2, -1), dtype=np.int64)
+
+    # APC over the flattened kernel.
+    flat = StreamBatch(
+        packed.reshape(packed.shape[:-4] + (cin * h * w, packed.shape[-1])),
+        products.length,
+    )
+    return apc_accumulate(flat, axis=-1)
+
+
+def expected_accumulate(
+    probabilities: np.ndarray,
+    mode: AccumulationMode | str,
+) -> np.ndarray:
+    """Analytic expectation of :func:`accumulate_products` normalized by
+    stream length, for *independent* streams.
+
+    ``probabilities`` has its last three axes as ``(Cin, H, W)`` product
+    probabilities. Used by the straight-through training backward and by
+    property tests (the bit-true simulation must converge to this value as
+    streams lengthen, when seeds are not shared within an OR group).
+    """
+    mode = AccumulationMode.parse(mode)
+    p = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
+
+    def or_over(arr: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+        return 1.0 - np.prod(1.0 - arr, axis=axes)
+
+    if mode is AccumulationMode.SC:
+        return or_over(p, (-3, -2, -1))
+    if mode is AccumulationMode.PBW:
+        return or_over(p, (-3, -2)).sum(axis=-1)
+    if mode is AccumulationMode.PBHW:
+        return or_over(p, (-3,)).sum(axis=(-2, -1))
+    if mode is AccumulationMode.FXP:
+        return p.sum(axis=(-3, -2, -1))
+    # APC expectation: pairs contribute P(a|b) = pa + pb - pa*pb.
+    flat = p.reshape(p.shape[:-3] + (-1,))
+    k = flat.shape[-1]
+    pairs = k // 2
+    a = flat[..., 0 : 2 * pairs : 2]
+    b = flat[..., 1 : 2 * pairs : 2]
+    total = (a + b - a * b).sum(axis=-1)
+    if k % 2:
+        total = total + flat[..., -1]
+    return total

@@ -1,0 +1,114 @@
+"""Bit-accurate output converter model (paper Fig. 4, right).
+
+The output converter is the stochastic-to-binary boundary of GEO: per
+output channel it counts the (partial-binary) stream contributions of
+both split-unipolar sign channels into counter registers, optionally adds
+neighbouring outputs through a small configurable parallel counter
+(average pooling with computation skipping), subtracts the negative
+channel, and hands the fixed-point value to the near-memory BN/ReLU path.
+
+This model is cycle-faithful at the counter level and is cross-checked
+against the vectorized accumulation in :mod:`repro.sc.accumulate` — the
+same role the RTL-vs-golden-model check plays in the paper's flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.sc.streams import StreamBatch
+from repro.utils.bitops import unpack_bits
+
+
+class OutputConverter:
+    """One output-converter slice.
+
+    Parameters
+    ----------
+    counter_bits:
+        Width of each sign-channel counter register; the counter
+        saturates (hardware counters do not wrap silently here — they
+        clamp, and :attr:`overflowed` records the event).
+    pooling_inputs:
+        Number of neighbouring outputs the pooling parallel counter adds
+        (1 = pooling disabled; 4 = 2x2 average pooling with computation
+        skipping).
+    """
+
+    def __init__(self, counter_bits: int = 16, pooling_inputs: int = 1):
+        if counter_bits < 1:
+            raise ConfigurationError("counter_bits must be >= 1")
+        if pooling_inputs < 1:
+            raise ConfigurationError("pooling_inputs must be >= 1")
+        self.counter_bits = counter_bits
+        self.pooling_inputs = pooling_inputs
+        self._limit = (1 << counter_bits) - 1
+        self.reset()
+
+    def reset(self) -> None:
+        self.pos_count = 0
+        self.neg_count = 0
+        self.overflowed = False
+
+    def step(self, pos_increment: int, neg_increment: int) -> None:
+        """Accumulate one cycle's partial-binary contributions.
+
+        With all-OR accumulation the increments are single bits; with PBW
+        they are the pooled parallel-counter sums (0..groups) of up to
+        ``pooling_inputs`` neighbouring outputs.
+        """
+        if pos_increment < 0 or neg_increment < 0:
+            raise ConfigurationError("increments must be non-negative")
+        self.pos_count += pos_increment
+        self.neg_count += neg_increment
+        if self.pos_count > self._limit or self.neg_count > self._limit:
+            self.overflowed = True
+            self.pos_count = min(self.pos_count, self._limit)
+            self.neg_count = min(self.neg_count, self._limit)
+
+    def value(self, stream_length: int, scale: float = 1.0) -> float:
+        """Converted fixed-point value: (pos - neg) / length, averaged
+        over the pooling window."""
+        raw = (self.pos_count - self.neg_count) / stream_length
+        return scale * raw / self.pooling_inputs
+
+    # -- batch (vectorized) path -------------------------------------------
+
+    def convert_streams(
+        self,
+        pos: StreamBatch,
+        neg: StreamBatch,
+    ) -> np.ndarray:
+        """Convert pooled stream groups cycle by cycle.
+
+        ``pos``/``neg`` have shape ``(..., pooling_inputs)`` of product
+        streams (already partial-binary reduced to one stream per pooled
+        output); returns the converted values ``(...)``.
+        """
+        if pos.shape != neg.shape:
+            raise ShapeError("pos/neg shapes differ")
+        if pos.shape[-1] != self.pooling_inputs:
+            raise ShapeError(
+                f"expected {self.pooling_inputs} pooled inputs, "
+                f"got {pos.shape[-1]}"
+            )
+        pos_bits = unpack_bits(pos.packed, pos.length)
+        neg_bits = unpack_bits(neg.packed, neg.length)
+        # The pooling parallel counter adds the neighbouring outputs'
+        # bits every cycle; the counters accumulate over the stream.
+        pos_counts = pos_bits.sum(axis=(-2, -1), dtype=np.int64)
+        neg_counts = neg_bits.sum(axis=(-2, -1), dtype=np.int64)
+        clipped = np.minimum(pos_counts, self._limit) - np.minimum(
+            neg_counts, self._limit
+        )
+        return clipped / pos.length / self.pooling_inputs
+
+
+def required_counter_bits(
+    groups: int, stream_length: int, pooling_inputs: int = 1
+) -> int:
+    """Counter width that never saturates: counts reach
+    ``groups * stream_length * pooling_inputs`` per sign channel."""
+    peak = groups * stream_length * pooling_inputs
+    return max(int(np.ceil(np.log2(peak + 1))), 1)

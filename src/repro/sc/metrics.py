@@ -1,0 +1,135 @@
+"""Stream-quality metrics and correlation-aware SC operators.
+
+Beyond the SCC correlation metric (:func:`repro.sc.streams.scc`), this
+module provides the statistics used to characterize stochastic number
+generators — value-estimation RMSE vs stream length, lag
+autocorrelation, and run-length balance — plus an operator that *exploits*
+correlation instead of suffering from it: the OR of two maximally
+correlated unipolar streams computes ``max`` exactly, which is the
+standard SC trick for max pooling and the flip side of the Fig. 1
+extreme-sharing collapse (the same mechanism that breaks OR *addition*
+makes OR an exact *max*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sc.formats import quantize_unipolar
+from repro.sc.rng import RandomSource
+from repro.sc.sng import SNG
+from repro.sc.streams import StreamBatch
+
+
+def estimation_rmse(
+    source: RandomSource,
+    bits: int,
+    stream_length: int,
+    values: np.ndarray | None = None,
+    seeds: np.ndarray | None = None,
+) -> float:
+    """RMS error of single-stream value estimation at a stream length.
+
+    Deterministic maximal-length LFSRs achieve near-zero error at the full
+    period (quantization only); TRNG error floors at the binomial
+    ``sqrt(p(1-p)/L)``.
+    """
+    if values is None:
+        values = np.linspace(0.0, 1.0, 65)
+    values = np.asarray(values, dtype=np.float64)
+    if seeds is None:
+        seeds = np.arange(values.size)
+    sng = SNG(source, bits)
+    targets = quantize_unipolar(values, bits)
+    streams = sng.generate(targets, np.asarray(seeds), stream_length)
+    levels = (1 << bits) - 1
+    reference = targets / levels
+    return float(np.sqrt(np.mean((streams.mean() - reference) ** 2)))
+
+
+def autocorrelation(stream: StreamBatch, max_lag: int = 16) -> np.ndarray:
+    """Lag-k autocorrelation of each stream's bit sequence.
+
+    Returns shape ``stream.shape + (max_lag,)`` with lags 1..max_lag.
+    White streams have near-zero autocorrelation at every lag; structured
+    generators (e.g. short-period LFSRs observed beyond their period)
+    reveal themselves here.
+    """
+    bits = stream.bits().astype(np.float64)
+    length = stream.length
+    if max_lag >= length:
+        raise ShapeError(f"max_lag {max_lag} must be < length {length}")
+    centered = bits - bits.mean(axis=-1, keepdims=True)
+    denom = (centered**2).sum(axis=-1)
+    out = np.zeros(stream.shape + (max_lag,), dtype=np.float64)
+    for lag in range(1, max_lag + 1):
+        num = (centered[..., :-lag] * centered[..., lag:]).sum(axis=-1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out[..., lag - 1] = np.where(denom > 0, num / denom, 0.0)
+    return out
+
+
+def run_length_histogram(stream: StreamBatch, max_run: int = 8) -> np.ndarray:
+    """Histogram of 1-run lengths per stream (clipped at ``max_run``).
+
+    Maximal-length LFSR comparator streams have a characteristic run
+    structure; this is the cheap diagnostic for degenerate seeds.
+    Returns shape ``stream.shape + (max_run,)`` where slot ``k`` counts
+    runs of length ``k+1`` (the last slot includes longer runs).
+    """
+    bits = stream.bits()
+    padded = np.concatenate(
+        [np.zeros(bits.shape[:-1] + (1,), dtype=bits.dtype), bits,
+         np.zeros(bits.shape[:-1] + (1,), dtype=bits.dtype)],
+        axis=-1,
+    )
+    out = np.zeros(stream.shape + (max_run,), dtype=np.int64)
+    diff = np.diff(padded.astype(np.int8), axis=-1)
+    flat_starts = diff == 1
+    flat_ends = diff == -1
+    it = np.ndindex(*stream.shape) if stream.shape else [()]
+    for index in it:
+        starts = np.nonzero(flat_starts[index])[0]
+        ends = np.nonzero(flat_ends[index])[0]
+        for s, e in zip(starts, ends):
+            run = min(e - s, max_run)
+            out[index + (run - 1,)] += 1
+    return out
+
+
+def correlated_max(a: StreamBatch, b: StreamBatch) -> StreamBatch:
+    """OR of two streams — computes ``max(P(a), P(b))`` exactly when the
+    streams are maximally correlated (same RNG), which is how SC
+    implements max pooling for free.
+
+    The caller is responsible for generating ``a`` and ``b`` from the
+    *same* seed; with independent streams this is the saturating OR-sum.
+    """
+    return a | b
+
+
+def correlated_min(a: StreamBatch, b: StreamBatch) -> StreamBatch:
+    """AND of two maximally correlated streams computes ``min`` exactly
+    (with independent streams it is the product — the Fig. 1 collapse
+    mechanism, used constructively here)."""
+    return a & b
+
+
+def max_pool_streams(
+    values: np.ndarray,
+    source: RandomSource,
+    bits: int,
+    stream_length: int,
+    shared_seed: int = 1,
+) -> np.ndarray:
+    """SC max pooling demo: encode ``values`` (last axis = pooling window)
+    with a *shared* RNG and OR-reduce — the result estimates the window
+    max. Returns the estimated max per window."""
+    values = np.asarray(values, dtype=np.float64)
+    sng = SNG(source, bits)
+    targets = quantize_unipolar(values, bits)
+    seeds = np.full(values.shape, shared_seed)
+    streams = sng.generate(targets, seeds, stream_length)
+    pooled = streams.or_reduce(axis=-1)
+    return pooled.mean()

@@ -1,0 +1,129 @@
+"""Stochastic arithmetic primitives.
+
+Unipolar SC arithmetic maps multiplication to AND and (unscaled,
+saturating) addition to OR; scaled addition uses a multiplexer; exact
+conversion to fixed point uses a parallel counter (per-cycle popcount fed
+into an accumulator). The approximate parallel counter (APC) of Kim et al.
+replaces the first adder level with OR gates, dropping the AND carry —
+the paper notes this makes multi-level APC accumulation behave like
+multiplexers, which is why GEO instead uses trained OR accumulation for
+the stochastic levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sc.streams import StreamBatch
+from repro.utils.bitops import popcount_packed
+
+
+def and_multiply(a: StreamBatch, b: StreamBatch) -> StreamBatch:
+    """Unipolar SC multiply: bitwise AND of (independent) streams.
+
+    With independent streams ``P(a & b) = P(a) P(b)``; with fully
+    correlated streams it degrades to ``min(P(a), P(b))`` — the failure
+    mode extreme seed sharing triggers.
+    """
+    return a & b
+
+
+def xnor_multiply(a: StreamBatch, b: StreamBatch) -> StreamBatch:
+    """Bipolar SC multiply: bitwise XNOR.
+
+    With bipolar encoding ``p = (x + 1) / 2``, the XNOR of independent
+    streams represents the product of the encoded values:
+    ``x_out = x_a * x_b``. GEO itself uses split-unipolar AND (better
+    accumulation behaviour), but XNOR is the classic bipolar primitive
+    and is provided for comparison experiments.
+    """
+    return ~(a ^ b)
+
+
+def or_accumulate(products: StreamBatch, axis: int = 0) -> StreamBatch:
+    """Unscaled SC accumulation: OR across a batch axis.
+
+    The expected value is ``1 - prod_k (1 - p_k)``, a saturating
+    approximation of ``sum_k p_k``; GEO trains the network through this
+    nonlinearity so it can exploit the unscaled dynamic range.
+    """
+    return products.or_reduce(axis)
+
+
+def mux_accumulate(
+    products: StreamBatch, select: np.ndarray, axis: int = 0
+) -> StreamBatch:
+    """Scaled SC addition: per-cycle multiplexing among ``K`` inputs.
+
+    ``select`` holds, per cycle, the index of the input forwarded to the
+    output; the represented value is ``mean_k p_k`` (a 1/K-scaled sum),
+    which is why deep MUX trees lose precision rapidly.
+    """
+    bits = products.bits()
+    axis = axis % (bits.ndim - 1)
+    bits = np.moveaxis(bits, axis, 0)  # (K, ..., L)
+    k = bits.shape[0]
+    select = np.asarray(select, dtype=np.int64)
+    if select.shape != (products.length,):
+        raise ShapeError(
+            f"select must have shape ({products.length},), got {select.shape}"
+        )
+    if select.size and (select.min() < 0 or select.max() >= k):
+        raise ShapeError(f"select indices out of range [0, {k})")
+    out = bits[select, ..., np.arange(products.length)]
+    # Fancy indexing put the cycle axis first; move it back to the end.
+    out = np.moveaxis(out, 0, -1)
+    return StreamBatch.from_bits(out)
+
+
+def parallel_count(products: StreamBatch, axis: int = 0) -> np.ndarray:
+    """Exact parallel counter + accumulator: total ones across ``axis`` and
+    across the stream — i.e. the fixed-point accumulation of all inputs.
+
+    Returns integer counts with the stream axis already summed (this is
+    what the output converter's counter register holds at the end of a
+    generation phase).
+    """
+    counts = products.counts()  # (..., axis, ...)
+    axis = axis % counts.ndim
+    return counts.sum(axis=axis, dtype=np.int64)
+
+
+def apc_accumulate(products: StreamBatch, axis: int = 0) -> np.ndarray:
+    """Approximate parallel counter (Kim, Lee, Choi — ISOCC'15).
+
+    The first compressor level is approximated: input bits are paired and
+    each pair contributes ``OR(a, b)`` (weight 1) instead of the exact
+    ``OR`` + ``AND``-carry pair. The result underestimates dense inputs
+    (it drops the pairwise carries), which is the accuracy/area tradeoff
+    the paper's Fig. 5 quantifies against exact fixed-point accumulation.
+
+    Returns integer counts accumulated over the stream, like
+    :func:`parallel_count`.
+    """
+    packed = products.packed
+    ndim = packed.ndim - 1
+    axis = axis % ndim
+    packed = np.moveaxis(packed, axis, 0)  # (K, ..., W)
+    k = packed.shape[0]
+    pairs = k // 2
+    paired = packed[0 : 2 * pairs : 2] | packed[1 : 2 * pairs : 2]
+    partial = popcount_packed(paired).sum(axis=0, dtype=np.int64)
+    if k % 2:
+        partial = partial + popcount_packed(packed[-1])
+    return partial
+
+
+def expected_or(probabilities: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Analytic expectation of OR accumulation over independent streams:
+    ``1 - prod(1 - p)``. Used by the straight-through training backward."""
+    p = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
+    return 1.0 - np.prod(1.0 - p, axis=axis)
+
+
+def saturating_or_sum(probabilities: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Upper bound ``min(sum p, 1)`` on OR accumulation; useful to bound
+    the saturation error analytically in tests."""
+    p = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
+    return np.minimum(p.sum(axis=axis), 1.0)

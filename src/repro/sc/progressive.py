@@ -1,0 +1,130 @@
+"""Progressive-generation error analysis (paper Sec. II-B, Fig. 2).
+
+Fig. 2 compares the multiplication error of normal vs progressive stream
+generation for two uniformly sampled inputs, against an 8-bit integer
+reference, as a function of how many cycles the streams run. Progressive
+loading only perturbs the first few cycles (at most 8 with the default
+2-bits-per-2-cycles schedule), so the curves converge — that is the
+paper's argument that progressive generation is functionally free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sc.formats import dequantize_unipolar, quantize_unipolar
+from repro.sc.rng import LFSRSource
+from repro.sc.sng import SNG, ProgressiveSNG
+
+
+@dataclass(frozen=True)
+class MultiplicationErrorCurve:
+    """RMS multiplication error as a function of elapsed cycles."""
+
+    cycles: np.ndarray  # evaluated cycle counts (1..stream length)
+    rms_normal: np.ndarray
+    rms_progressive: np.ndarray
+    lfsr_bits: int
+    stream_length: int
+
+    def settled_gap(self, from_cycle: int) -> float:
+        """Max |normal - progressive| RMS gap from ``from_cycle`` on."""
+        mask = self.cycles >= from_cycle
+        return float(
+            np.abs(self.rms_normal[mask] - self.rms_progressive[mask]).max()
+        )
+
+
+def _prefix_estimates(bits: np.ndarray) -> np.ndarray:
+    """Value estimate after each cycle: cumulative ones / cycles so far."""
+    cumulative = np.cumsum(bits.astype(np.int64), axis=-1)
+    cycles = np.arange(1, bits.shape[-1] + 1)
+    return cumulative / cycles
+
+
+def multiplication_error_curve(
+    num_pairs: int = 2048,
+    lfsr_bits: int = 7,
+    stream_length: int = 128,
+    reference_bits: int = 8,
+    seed: int = 0,
+    initial_bits: int = 2,
+    bits_per_group: int = 2,
+    cycles_per_group: int = 2,
+) -> MultiplicationErrorCurve:
+    """Reproduce Fig. 2: RMS error of SC multiplication vs cycles.
+
+    Uniformly samples ``num_pairs`` input pairs in ``[0, 1]``, generates
+    their streams with a normal and a progressive SNG (independent LFSR
+    seeds per operand), multiplies with AND, and measures the RMS error of
+    the running value estimate against the ``reference_bits``-bit integer
+    product (the paper's "multiplication error compared to an 8-bit
+    integer").
+    """
+    if num_pairs < 1:
+        raise ConfigurationError("need at least one input pair")
+    rng = np.random.default_rng(seed)
+    a = rng.random(num_pairs)
+    b = rng.random(num_pairs)
+
+    # Reference: products of 8-bit fixed-point quantized inputs.
+    ref_a = dequantize_unipolar(quantize_unipolar(a, reference_bits), reference_bits)
+    ref_b = dequantize_unipolar(quantize_unipolar(b, reference_bits), reference_bits)
+    reference = ref_a * ref_b
+
+    source = LFSRSource(lfsr_bits)
+    normal = SNG(source, lfsr_bits)
+    progressive = ProgressiveSNG(
+        source,
+        lfsr_bits,
+        initial_bits=initial_bits,
+        bits_per_group=bits_per_group,
+        cycles_per_group=cycles_per_group,
+    )
+
+    qa = quantize_unipolar(a, lfsr_bits)
+    qb = quantize_unipolar(b, lfsr_bits)
+    pool = source.max_unique_seeds()
+    seeds_a = (2 * np.arange(num_pairs)) % pool
+    seeds_b = (2 * np.arange(num_pairs) + 1) % pool
+
+    curves = {}
+    for label, sng in (("normal", normal), ("progressive", progressive)):
+        sa = sng.generate(qa, seeds_a, stream_length)
+        sb = sng.generate(qb, seeds_b, stream_length)
+        product_bits = (sa & sb).bits()
+        estimates = _prefix_estimates(product_bits)  # (num_pairs, L)
+        err = estimates - reference[:, None]
+        curves[label] = np.sqrt(np.mean(err**2, axis=0))
+
+    return MultiplicationErrorCurve(
+        cycles=np.arange(1, stream_length + 1),
+        rms_normal=curves["normal"],
+        rms_progressive=curves["progressive"],
+        lfsr_bits=lfsr_bits,
+        stream_length=stream_length,
+    )
+
+
+def progressive_settling_cycles(
+    lfsr_bits: int,
+    initial_bits: int = 2,
+    bits_per_group: int = 2,
+    cycles_per_group: int = 2,
+) -> int:
+    """Cycles until the progressive buffer holds the full target value.
+
+    With the default schedule and a 7-bit LFSR this is 6 cycles — within
+    the paper's "at most 8 cycles" bound.
+    """
+    sng = ProgressiveSNG(
+        LFSRSource(lfsr_bits),
+        lfsr_bits,
+        initial_bits=initial_bits,
+        bits_per_group=bits_per_group,
+        cycles_per_group=cycles_per_group,
+    )
+    return sng.settle_cycles()

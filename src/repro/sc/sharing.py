@@ -1,0 +1,159 @@
+"""RNG seed-sharing policies (paper Sec. II-A, Fig. 1).
+
+GEO's accuracy hinges on *how much* stream-generation randomness is shared:
+
+* ``NONE``     — every SNG gets its own seed ("no sharing"). For an n-bit
+  LFSR only ``(2**n - 1) * num_polynomials`` distinct sequences exist, so
+  very wide layers wrap around the pool — the paper's "up to the limit of
+  availability of unique RNG seeds".
+* ``MODERATE`` — all kernels (output channels) in a layer share the same
+  *set* of seeds: the seed depends on the position inside the kernel
+  ``(cin, kh, kw)`` but not on the output channel. GEO's choice — it
+  simplifies the error profile so training can absorb it, and it is what
+  the hardware's row-shared LFSR banks implement.
+* ``EXTREME``  — all *rows* of all kernels share one seed set: the seed
+  depends only on the position within a row (``kw``). Streams that meet at
+  the same OR gate then share their RNG, ANDs degenerate toward ``min``
+  and ORs toward ``max``, and accuracy collapses (Fig. 1).
+
+Weight seeds and activation seeds are drawn from disjoint ranges of the
+pool: an activation stream must stay uncorrelated with the weight stream
+it multiplies, or the AND gate computes ``min`` instead of a product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sc.rng import RandomSource
+from repro.utils.seeding import derive_seed
+
+
+class SharingLevel(str, Enum):
+    NONE = "none"
+    MODERATE = "moderate"
+    EXTREME = "extreme"
+
+    @classmethod
+    def parse(cls, value: "SharingLevel | str") -> "SharingLevel":
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).lower())
+
+
+@dataclass(frozen=True)
+class SeedPlan:
+    """Seed assignment for one layer.
+
+    Attributes
+    ----------
+    weight_seeds:
+        Shape ``(Cout, Cin, KH, KW)`` — seed of the SNG generating each
+        weight stream.
+    act_seeds:
+        Shape ``(Cin, KH, KW)`` — seed of the SNG generating the
+        activation stream at each window position (activations are
+        broadcast across output channels / MAC rows, so they carry no
+        ``Cout`` axis).
+    unique_requested:
+        Seeds the policy asked for before pool wrap-around.
+    unique_available:
+        Size of the distinct-sequence pool of the random source.
+    """
+
+    weight_seeds: np.ndarray
+    act_seeds: np.ndarray
+    unique_requested: int
+    unique_available: int
+
+    @property
+    def wrapped(self) -> bool:
+        """True when the policy needed more seeds than the pool provides."""
+        return self.unique_requested > self.unique_available
+
+
+def plan_seeds(
+    level: SharingLevel | str,
+    kernel_shape: tuple[int, int, int, int],
+    source: RandomSource,
+    layer_index: int = 0,
+    root_seed: int = 0,
+) -> SeedPlan:
+    """Assign SNG seeds for a layer under a sharing policy.
+
+    Parameters
+    ----------
+    level:
+        Sharing policy.
+    kernel_shape:
+        ``(Cout, Cin, KH, KW)``. Fully-connected layers use
+        ``(Cout, Cin, 1, 1)``.
+    source:
+        The random source (defines the unique-seed pool size).
+    layer_index:
+        Distinct layers draw from different regions of the pool, so layer
+        outputs stay mutually uncorrelated.
+    root_seed:
+        Experiment-level seed; permutes the pool mapping reproducibly.
+    """
+    level = SharingLevel.parse(level)
+    cout, cin, kh, kw = kernel_shape
+    if min(kernel_shape) < 1:
+        raise ConfigurationError(f"invalid kernel shape {kernel_shape}")
+
+    if level is SharingLevel.NONE:
+        wgt_ids = np.arange(cout * cin * kh * kw).reshape(cout, cin, kh, kw)
+        act_ids = np.arange(cin * kh * kw).reshape(cin, kh, kw)
+    elif level is SharingLevel.MODERATE:
+        per_kernel = np.arange(cin * kh * kw).reshape(cin, kh, kw)
+        wgt_ids = np.broadcast_to(per_kernel, (cout, cin, kh, kw))
+        act_ids = per_kernel
+    else:  # EXTREME: one seed set per row position, reused by EVERYTHING
+        # "All rows of all kernels in a layer use the same set of seeds"
+        # — including the activation SNGs. Sharing an RNG between the two
+        # operands of an AND gate degenerates the multiply into a
+        # deterministic min(), and the OR accumulation into max-of-min:
+        # the Fig. 1 collapse.
+        per_row = np.arange(kw).reshape(1, 1, kw)
+        wgt_ids = np.broadcast_to(per_row, (cout, cin, kh, kw))
+        act_ids = np.broadcast_to(per_row, (cin, kh, kw))
+
+    num_wgt = int(wgt_ids.max()) + 1
+    num_act = int(act_ids.max()) + 1
+    # Cap the pool below 2**62 so offset + id arithmetic stays in int64.
+    available = min(source.max_unique_seeds(), 2**62)
+
+    # Each layer gets its own deterministic offset into the source's seed
+    # space. Outside the extreme level, weight and activation pools are
+    # disjoint (an activation stream must stay uncorrelated with the
+    # weight stream it multiplies).
+    layer_offset = derive_seed(root_seed, "layer", layer_index) % max(
+        available, 1
+    )
+    if level is SharingLevel.EXTREME:
+        act_offset = 0
+        requested = max(num_wgt, num_act)
+    else:
+        act_offset = num_wgt
+        requested = num_wgt + num_act
+    weight_seeds = (layer_offset + wgt_ids) % available
+    act_seeds = (layer_offset + act_offset + act_ids) % available
+    return SeedPlan(
+        weight_seeds=np.ascontiguousarray(weight_seeds),
+        act_seeds=np.ascontiguousarray(act_seeds),
+        unique_requested=requested,
+        unique_available=available,
+    )
+
+
+def lfsr_count(plan: SeedPlan) -> int:
+    """Number of physical LFSRs the plan needs (distinct seeds actually
+    used). Sharing reduces this, which is where the paper's SNG area and
+    energy savings come from."""
+    return int(
+        np.union1d(plan.weight_seeds.ravel(), plan.act_seeds.ravel()).size
+    )

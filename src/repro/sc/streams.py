@@ -1,0 +1,169 @@
+"""Packed stochastic bitstream container and stream statistics.
+
+A :class:`StreamBatch` wraps an arbitrary-shape array of equal-length
+bitstreams stored packed (64 stream bits per ``uint64`` word, see
+:mod:`repro.utils.bitops`). Logic operations on streams map to word-wide
+``&``/``|``/``^`` on the packed words, which is what makes whole-network
+bit-true SC simulation tractable in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, StreamLengthError
+from repro.utils.bitops import (
+    mask_tail,
+    pack_bits,
+    packed_words,
+    popcount_packed,
+    unpack_bits,
+)
+
+
+class StreamBatch:
+    """A batch of equal-length stochastic bitstreams.
+
+    Parameters
+    ----------
+    packed:
+        ``uint64`` array of shape ``(..., W)`` where ``W`` is
+        ``packed_words(length)``. Bits beyond ``length`` must be zero.
+    length:
+        Stream length in bits.
+    """
+
+    __slots__ = ("packed", "length")
+
+    def __init__(self, packed: np.ndarray, length: int):
+        packed = np.asarray(packed, dtype=np.uint64)
+        if packed.shape[-1] != packed_words(length):
+            raise ShapeError(
+                f"packed last axis {packed.shape[-1]} does not match "
+                f"stream length {length} ({packed_words(length)} words)"
+            )
+        self.packed = packed
+        self.length = int(length)
+
+    # --- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "StreamBatch":
+        """Build from an unpacked 0/1 array with the stream on the last axis."""
+        bits = np.asarray(bits)
+        return cls(pack_bits(bits), bits.shape[-1])
+
+    @classmethod
+    def zeros(cls, shape: tuple[int, ...], length: int) -> "StreamBatch":
+        return cls(
+            np.zeros(shape + (packed_words(length),), dtype=np.uint64), length
+        )
+
+    @classmethod
+    def ones(cls, shape: tuple[int, ...], length: int) -> "StreamBatch":
+        full = np.full(shape + (packed_words(length),), ~np.uint64(0))
+        return cls(mask_tail(full, length), length)
+
+    # --- basic properties -------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Logical (stream-batch) shape, excluding the packed word axis."""
+        return self.packed.shape[:-1]
+
+    def bits(self) -> np.ndarray:
+        """Unpacked 0/1 array of shape ``shape + (length,)``."""
+        return unpack_bits(self.packed, self.length)
+
+    def counts(self) -> np.ndarray:
+        """Number of ones per stream (what an output counter measures)."""
+        return popcount_packed(self.packed)
+
+    def mean(self) -> np.ndarray:
+        """Estimated unipolar value per stream: ones / length."""
+        return self.counts() / self.length
+
+    # --- logic ------------------------------------------------------------
+
+    def _check_compatible(self, other: "StreamBatch") -> None:
+        if self.length != other.length:
+            raise StreamLengthError(
+                f"stream lengths differ: {self.length} vs {other.length}"
+            )
+
+    def __and__(self, other: "StreamBatch") -> "StreamBatch":
+        self._check_compatible(other)
+        return StreamBatch(self.packed & other.packed, self.length)
+
+    def __or__(self, other: "StreamBatch") -> "StreamBatch":
+        self._check_compatible(other)
+        return StreamBatch(self.packed | other.packed, self.length)
+
+    def __xor__(self, other: "StreamBatch") -> "StreamBatch":
+        self._check_compatible(other)
+        return StreamBatch(self.packed ^ other.packed, self.length)
+
+    def __invert__(self) -> "StreamBatch":
+        return StreamBatch(mask_tail(~self.packed, self.length), self.length)
+
+    # --- reductions and reshaping ------------------------------------------
+
+    def or_reduce(self, axis: int) -> "StreamBatch":
+        """OR-accumulate streams along a batch axis (GEO's SC addition)."""
+        axis = self._normalize_axis(axis)
+        return StreamBatch(
+            np.bitwise_or.reduce(self.packed, axis=axis), self.length
+        )
+
+    def and_reduce(self, axis: int) -> "StreamBatch":
+        axis = self._normalize_axis(axis)
+        return StreamBatch(
+            np.bitwise_and.reduce(self.packed, axis=axis), self.length
+        )
+
+    def _normalize_axis(self, axis: int) -> int:
+        ndim = self.packed.ndim - 1  # exclude the word axis
+        if not -ndim <= axis < ndim:
+            raise ShapeError(f"axis {axis} out of range for shape {self.shape}")
+        return axis % ndim
+
+    def reshape(self, shape: tuple[int, ...]) -> "StreamBatch":
+        return StreamBatch(
+            self.packed.reshape(shape + (self.packed.shape[-1],)), self.length
+        )
+
+    def __getitem__(self, key) -> "StreamBatch":
+        if not isinstance(key, tuple):
+            key = (key,)
+        return StreamBatch(self.packed[key + (slice(None),)], self.length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamBatch(shape={self.shape}, length={self.length})"
+
+
+def scc(a: StreamBatch, b: StreamBatch) -> np.ndarray:
+    """Stochastic cross-correlation (Alaghi & Hayes) between stream pairs.
+
+    SCC is 0 for independent streams, +1 for maximally positively
+    correlated (overlapping) streams, and -1 for maximally anti-correlated
+    streams. Extreme seed sharing drives SCC to +1, which is the mechanism
+    behind the Fig. 1 accuracy collapse: an AND of fully correlated streams
+    computes ``min`` instead of the product.
+    """
+    if a.length != b.length:
+        raise StreamLengthError("SCC requires equal stream lengths")
+    n = a.length
+    ones_a = a.counts().astype(np.float64)
+    ones_b = b.counts().astype(np.float64)
+    overlap = (a & b).counts().astype(np.float64)
+    pa, pb, pab = ones_a / n, ones_b / n, overlap / n
+    delta = pab - pa * pb
+    out = np.zeros(np.broadcast(pa, pb).shape, dtype=np.float64)
+    pos = delta > 0
+    neg = delta < 0
+    denom_pos = np.minimum(pa, pb) - pa * pb
+    denom_neg = pa * pb - np.maximum(pa + pb - 1.0, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(pos & (denom_pos > 0), delta / denom_pos, out)
+        out = np.where(neg & (denom_neg > 0), delta / denom_neg, out)
+    return out

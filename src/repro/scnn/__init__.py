@@ -1,0 +1,51 @@
+"""SC-aware neural network layers and training (paper Secs. II & IV).
+
+Combines the bit-true SC simulation (:mod:`repro.scnn.sim`) with the
+autograd substrate (:mod:`repro.nn`) into trainable SC layers using the
+paper's SC-forward / FP-backward methodology.
+"""
+
+from repro.scnn.config import SCConfig, TABLE1_CONFIGS
+from repro.scnn.layers import (
+    SCConv2d,
+    SCLinear,
+    SCModule,
+    set_simulation,
+    straight_through,
+    swap_config,
+)
+from repro.scnn.sim import (
+    SCConvSimulator,
+    SCLinearSimulator,
+    clear_table_cache,
+    stream_table,
+)
+from repro.scnn.train import (
+    TrainResult,
+    evaluate,
+    run_length_double_check,
+    train_model,
+)
+from repro.scnn.eval import EvalReport, compare_arms, evaluate_detailed
+
+__all__ = [
+    "SCConfig",
+    "TABLE1_CONFIGS",
+    "SCConv2d",
+    "SCLinear",
+    "SCModule",
+    "set_simulation",
+    "straight_through",
+    "swap_config",
+    "SCConvSimulator",
+    "SCLinearSimulator",
+    "clear_table_cache",
+    "stream_table",
+    "TrainResult",
+    "evaluate",
+    "run_length_double_check",
+    "train_model",
+    "EvalReport",
+    "compare_arms",
+    "evaluate_detailed",
+]

@@ -1,0 +1,90 @@
+"""Evaluation utilities beyond top-1 accuracy.
+
+Scaled accuracy experiments benefit from richer diagnostics than a single
+number: per-class accuracy reveals whether an SC arm collapsed onto a few
+classes (the typical OR-saturation failure signature — everything maps to
+the class with the largest bias), and the confusion matrix localizes which
+prototypes the stochastic noise merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.data import ArrayDataset
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class EvalReport:
+    """Classification diagnostics for one model on one dataset."""
+
+    confusion: np.ndarray  # (classes, classes): rows = true, cols = pred
+    num_classes: int
+
+    @property
+    def accuracy(self) -> float:
+        total = self.confusion.sum()
+        return float(np.trace(self.confusion) / total) if total else 0.0
+
+    @property
+    def per_class_accuracy(self) -> np.ndarray:
+        totals = self.confusion.sum(axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            acc = np.diag(self.confusion) / totals
+        return np.where(totals > 0, acc, np.nan)
+
+    @property
+    def predicted_class_histogram(self) -> np.ndarray:
+        """How often each class is predicted — a near-degenerate
+        histogram is the OR-saturation collapse signature."""
+        return self.confusion.sum(axis=0)
+
+    def collapse_score(self) -> float:
+        """Fraction of predictions landing on the single most-predicted
+        class; 1/num_classes is balanced, ~1.0 is full collapse."""
+        total = self.confusion.sum()
+        if not total:
+            return 0.0
+        return float(self.predicted_class_histogram.max() / total)
+
+
+def evaluate_detailed(
+    model: Module,
+    dataset: ArrayDataset,
+    num_classes: int = 10,
+    batch_size: int = 64,
+) -> EvalReport:
+    """Full-dataset confusion matrix (eval mode, no grad)."""
+    if len(dataset) == 0:
+        raise ShapeError("cannot evaluate on an empty dataset")
+    was_training = any(m.training for m in model.modules())
+    model.eval()
+    confusion = np.zeros((num_classes, num_classes), dtype=np.int64)
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            images = dataset.images[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            logits = model(Tensor(images)).data
+            preds = logits.argmax(axis=1)
+            np.add.at(confusion, (labels, preds), 1)
+    if was_training:
+        model.train()
+    return EvalReport(confusion=confusion, num_classes=num_classes)
+
+
+def compare_arms(
+    reports: dict[str, EvalReport],
+) -> dict[str, dict[str, float]]:
+    """Summary diagnostics per named arm (accuracy + collapse score)."""
+    return {
+        name: {
+            "accuracy": report.accuracy,
+            "collapse_score": report.collapse_score(),
+        }
+        for name, report in reports.items()
+    }

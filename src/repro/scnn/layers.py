@@ -1,0 +1,174 @@
+"""SC-aware network layers: simulated-SC forward, floating-point backward.
+
+The paper's training methodology (Sec. IV): "We implement the forward pass
+using both floating-point and simulated SC. Simulated SC is used to
+compute output values, while the floating-point forward pass is used to
+guide back propagation." That is a straight-through estimator at layer
+granularity, implemented here as ``out = y_fp + stop_grad(y_sc - y_fp)``:
+the forward *value* is the bit-true SC simulation, the gradient is the
+ordinary convolution gradient. Determinstic LFSR generation makes the
+fixed SC error learnable; TRNG makes it irreducible noise — which is the
+whole point of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+from repro.scnn.config import SCConfig
+from repro.scnn.sim import SCConvSimulator, SCLinearSimulator
+
+
+def straight_through(y_fp: Tensor, y_sc: np.ndarray) -> Tensor:
+    """Value of ``y_sc``, gradient of ``y_fp``."""
+    data = np.asarray(y_sc, dtype=np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        if y_fp.requires_grad:
+            y_fp._accumulate(grad)
+
+    return Tensor._make(data, (y_fp,), backward)
+
+
+class SCModule(Module):
+    """Common state for SC layers: config, simulation toggle."""
+
+    def __init__(self, cfg: SCConfig, role: str, layer_index: int):
+        super().__init__()
+        self.cfg = cfg
+        self.role = role
+        self.layer_index = layer_index
+        self.simulate = True  # False -> pure FP forward (reference arm)
+
+    def set_simulate(self, flag: bool) -> None:
+        self.simulate = bool(flag)
+
+
+class SCConv2d(SCModule):
+    """Convolution executed on the simulated SC datapath.
+
+    Activations are clipped to ``[0, 1]`` and weights to ``[-1, 1]``
+    (the representable split-unipolar range; the clip gradients keep
+    training inside it). The layer output is in linear units
+    ``counts / stream_length``, so a fixed-point batch-norm after it
+    recovers dynamic range exactly as in Sec. III-B.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        cfg: SCConfig,
+        stride: int = 1,
+        padding: int = 0,
+        role: str = "plain",
+        layer_index: int = 0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(cfg, role, layer_index)
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Tensor(
+            init.scaled_sc_uniform(shape, rng), requires_grad=True
+        )
+        self.simulator = SCConvSimulator(
+            shape,
+            cfg,
+            role=role,
+            layer_index=layer_index,
+            stride=stride,
+            padding=padding,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x_c = x.clip(0.0, 1.0)
+        w_c = self.weight.clip(-1.0, 1.0)
+        y_fp = F.conv2d(x_c, w_c, stride=self.stride, padding=self.padding)
+        if not self.simulate:
+            return y_fp
+        y_sc = self.simulator(x_c.data, w_c.data)
+        return straight_through(y_fp, y_sc)
+
+
+class SCLinear(SCModule):
+    """Fully-connected layer on the simulated SC datapath."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        cfg: SCConfig,
+        role: str = "output",
+        layer_index: int = 0,
+        binary_groups: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(cfg, role, layer_index)
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.simulator = SCLinearSimulator(
+            in_features,
+            out_features,
+            cfg,
+            role=role,
+            layer_index=layer_index,
+            binary_groups=binary_groups,
+        )
+        self.weight = Tensor(
+            init.scaled_sc_uniform((out_features, in_features), rng),
+            requires_grad=True,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x_c = x.clip(0.0, 1.0)
+        w_c = self.weight.clip(-1.0, 1.0)
+        y_fp = F.linear(x_c, w_c)
+        if not self.simulate:
+            return y_fp
+        y_sc = self.simulator(x_c.data, w_c.data)
+        return straight_through(y_fp, y_sc)
+
+
+def set_simulation(model: Module, flag: bool) -> None:
+    """Enable/disable the SC forward on every SC layer of ``model``."""
+    for module in model.modules():
+        if isinstance(module, SCModule):
+            module.set_simulate(flag)
+
+
+def swap_config(model: Module, cfg: SCConfig) -> None:
+    """Replace the SC config of every SC layer (e.g. validate a
+    TRNG-trained model with LFSR generation, as in the Fig. 1 mismatch
+    experiment). Simulators are rebuilt; weights are untouched."""
+    for module in model.modules():
+        if isinstance(module, SCConv2d):
+            module.cfg = cfg
+            module.simulator = SCConvSimulator(
+                tuple(module.weight.shape),
+                cfg,
+                role=module.role,
+                layer_index=module.layer_index,
+                stride=module.stride,
+                padding=module.padding,
+            )
+        elif isinstance(module, SCLinear):
+            module.cfg = cfg
+            module.simulator = SCLinearSimulator(
+                module.in_features,
+                module.out_features,
+                cfg,
+                role=module.role,
+                layer_index=module.layer_index,
+                binary_groups=module.simulator.binary_groups,
+            )

@@ -1,0 +1,321 @@
+"""Bit-true vectorized simulation of GEO's stochastic convolution.
+
+The simulation reproduces, bit for bit, what the accelerator's datapath
+computes: activation and weight SNGs (with the configured RNG kind,
+seed-sharing plan, and optionally progressive loading) feed AND multipliers
+whose product streams are accumulated with the configured partial-binary
+mode, split-unipolar sign channels are counted separately and subtracted.
+
+Key implementation trick: a stream is fully determined by ``(seed,
+quantized value)``, and both alphabets are small (``<= 2**n`` values,
+a few hundred shared seeds). Streams are therefore materialized through a
+precomputed *stream table* ``(num_seeds, 2**n, words)`` and pure fancy
+indexing — no per-element comparator loop. For deterministic LFSR sources
+the tables are cached across training steps; TRNG tables are rebuilt every
+call, which is exactly the physical difference training exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.functional import conv_output_size, im2col
+from repro.sc.accumulate import AccumulationMode
+from repro.sc.formats import quantize_unipolar
+from repro.sc.rng import LFSRSource, RandomSource, SobolSource, TRNGSource
+from repro.sc.sharing import SeedPlan, plan_seeds
+from repro.sc.sng import SNG, ProgressiveSNG
+from repro.scnn.config import SCConfig
+from repro.utils.bitops import popcount_packed
+from repro.utils.seeding import derive_seed
+
+_TABLE_CACHE: dict[tuple, np.ndarray] = {}
+_TABLE_CACHE_LIMIT = 256
+
+
+def clear_table_cache() -> None:
+    """Drop cached LFSR stream tables (tests / memory pressure)."""
+    _TABLE_CACHE.clear()
+
+
+def _make_generator(source: RandomSource, bits: int, progressive: bool):
+    if progressive:
+        return ProgressiveSNG(source, bits)
+    return SNG(source, bits)
+
+
+def _build_source(cfg: SCConfig, bits: int, layer_index: int, call_index: int) -> RandomSource:
+    if cfg.rng_kind == "lfsr":
+        return LFSRSource(bits)
+    if cfg.rng_kind == "sobol":
+        return SobolSource(bits)
+    root = derive_seed(cfg.root_seed, "trng", layer_index)
+    if cfg.trng_eval_freeze:
+        return TRNGSource(bits, root_seed=root, fresh_draws=False)
+    return TRNGSource(bits, root_seed=(root + call_index) % 2**63)
+
+
+def stream_table(
+    source: RandomSource,
+    bits: int,
+    length: int,
+    seeds: np.ndarray,
+    progressive: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Packed stream table for every (seed, value) pair.
+
+    Returns ``(table, index_of)`` where ``table`` has shape
+    ``(num_unique_seeds, 2**bits, words)`` and ``index_of`` maps a raw seed
+    array to a row index via ``np.searchsorted`` order.
+    """
+    unique = np.unique(seeds.ravel())
+    alphabet = np.arange(1 << bits, dtype=np.int64)
+    cache_key = None
+    if source.deterministic:
+        cache_key = (
+            type(source).__name__,
+            bits,
+            length,
+            progressive,
+            unique.tobytes(),
+        )
+        cached = _TABLE_CACHE.get(cache_key)
+        if cached is not None:
+            return cached, unique
+    generator = _make_generator(source, bits, progressive)
+    targets = np.broadcast_to(alphabet, (unique.size, alphabet.size))
+    seed_grid = np.broadcast_to(unique[:, None], targets.shape)
+    batch = generator.generate(targets, seed_grid, length)
+    table = batch.packed  # (U, 2**bits, words)
+    if cache_key is not None:
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.clear()
+        _TABLE_CACHE[cache_key] = table
+    return table, unique
+
+
+def _lookup(table: np.ndarray, unique: np.ndarray, seeds: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Fancy-index packed streams for seed/value arrays (broadcastable)."""
+    rows = np.searchsorted(unique, seeds)
+    return table[rows, q]
+
+
+def _reduce_products(
+    products: np.ndarray,
+    mode: AccumulationMode,
+) -> np.ndarray:
+    """Accumulate product streams ``(n, Cin, KH, KW, OH, OW, words)`` into
+    integer counts ``(n, OH, OW)`` under a partial-binary mode."""
+    if mode is AccumulationMode.SC:
+        merged = np.bitwise_or.reduce(
+            products.reshape((products.shape[0], -1) + products.shape[4:]),
+            axis=1,
+        )
+        return popcount_packed(merged)
+    if mode is AccumulationMode.PBW:
+        merged = np.bitwise_or.reduce(
+            np.bitwise_or.reduce(products, axis=1), axis=1
+        )  # (n, KW, OH, OW, words)
+        return popcount_packed(merged).sum(axis=1, dtype=np.int64)
+    if mode is AccumulationMode.PBHW:
+        merged = np.bitwise_or.reduce(products, axis=1)  # (n, KH, KW, ...)
+        return popcount_packed(merged).sum(axis=(1, 2), dtype=np.int64)
+    if mode is AccumulationMode.FXP:
+        return popcount_packed(products).sum(axis=(1, 2, 3), dtype=np.int64)
+    if mode is AccumulationMode.APC:
+        flat = products.reshape((products.shape[0], -1) + products.shape[4:])
+        k = flat.shape[1]
+        pairs = k // 2
+        merged = flat[:, 0 : 2 * pairs : 2] | flat[:, 1 : 2 * pairs : 2]
+        counts = popcount_packed(merged).sum(axis=1, dtype=np.int64)
+        if k % 2:
+            counts = counts + popcount_packed(flat[:, -1])
+        return counts
+    raise ConfigurationError(f"unhandled accumulation mode {mode}")
+
+
+class SCConvSimulator:
+    """Bit-true SC forward for one convolution layer.
+
+    The simulator is constructed once per layer (it owns the seed plan)
+    and called every forward pass. ``call_index`` advances TRNG draws so
+    non-deterministic sources genuinely differ between passes.
+    """
+
+    def __init__(
+        self,
+        kernel_shape: tuple[int, int, int, int],
+        cfg: SCConfig,
+        role: str = "plain",
+        layer_index: int = 0,
+        stride: int = 1,
+        padding: int = 0,
+    ):
+        self.kernel_shape = kernel_shape
+        self.cfg = cfg
+        self.role = role
+        self.layer_index = layer_index
+        self.stride = stride
+        self.padding = padding
+        self.length = cfg.length_for(role)
+        self.bits = cfg.bits_for(role)
+        self._call_index = 0
+        # Build the plan against an LFSR-sized pool so the sharing limits
+        # ("up to the limit of availability of unique RNG seeds") are
+        # honored uniformly across RNG kinds.
+        pool_source = LFSRSource(self.bits)
+        self.plan: SeedPlan = plan_seeds(
+            cfg.sharing,
+            kernel_shape,
+            pool_source if cfg.rng_kind == "lfsr" else _build_source(cfg, self.bits, layer_index, 0),
+            layer_index=layer_index,
+            root_seed=cfg.root_seed,
+        )
+
+    # -- forward ---------------------------------------------------------------
+
+    def __call__(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Simulated SC convolution.
+
+        Parameters
+        ----------
+        x:
+            Activations ``(N, Cin, H, W)`` in ``[0, 1]`` (values outside
+            are clipped — the representable unipolar range).
+        weight:
+            Weights ``(Cout, Cin, KH, KW)`` in ``[-1, 1]`` (clipped).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(N, Cout, OH, OW)`` float outputs in *linear units*:
+            ``counts / stream_length``, positive minus negative channel.
+        """
+        cout, cin, kh, kw = self.kernel_shape
+        if weight.shape != self.kernel_shape:
+            raise ShapeError(
+                f"weight shape {weight.shape} != kernel {self.kernel_shape}"
+            )
+        if x.ndim != 4 or x.shape[1] != cin:
+            raise ShapeError(
+                f"input shape {x.shape} incompatible with Cin={cin}"
+            )
+
+        source = _build_source(self.cfg, self.bits, self.layer_index, self._call_index)
+        self._call_index += 1
+
+        q_act_full = quantize_unipolar(x, self.bits)
+        w_clipped = np.clip(weight, -1.0, 1.0)
+        q_wpos = quantize_unipolar(np.maximum(w_clipped, 0.0), self.bits)
+        q_wneg = quantize_unipolar(np.maximum(-w_clipped, 0.0), self.bits)
+
+        # One table serves both operand kinds: the plan's seed pools are
+        # disjoint, and the table is indexed by raw seed.
+        all_seeds = np.concatenate(
+            [self.plan.weight_seeds.ravel(), self.plan.act_seeds.ravel()]
+        )
+        table, unique = stream_table(
+            source, self.bits, self.length, all_seeds, self.cfg.progressive
+        )
+        wp = _lookup(table, unique, self.plan.weight_seeds, q_wpos)
+        wn = _lookup(table, unique, self.plan.weight_seeds, q_wneg)
+
+        n = x.shape[0]
+        oh = conv_output_size(x.shape[2], kh, self.stride, self.padding)
+        ow = conv_output_size(x.shape[3], kw, self.stride, self.padding)
+        out = np.empty((n, cout, oh, ow), dtype=np.float32)
+
+        act_seed_idx = np.searchsorted(unique, self.plan.act_seeds)
+        mode = self.cfg.accumulation
+        chunk = max(1, self.cfg.batch_chunk)
+        for start in range(0, n, chunk):
+            xs = q_act_full[start : start + chunk]
+            cols = im2col(
+                xs.astype(np.float32), kh, kw, self.stride, self.padding
+            ).astype(np.int64)
+            # cols: (nc, Cin, KH, KW, OH, OW)
+            act = table[
+                act_seed_idx[None, :, :, :, None, None], cols
+            ]  # (nc, Cin, KH, KW, OH, OW, words)
+            for co in range(cout):
+                w_pos_c = wp[co][None, :, :, :, None, None, :]
+                w_neg_c = wn[co][None, :, :, :, None, None, :]
+                pos_counts = _reduce_products(act & w_pos_c, mode)
+                neg_counts = _reduce_products(act & w_neg_c, mode)
+                out[start : start + chunk, co] = (
+                    (pos_counts - neg_counts) / self.length
+                ).astype(np.float32)
+        return out
+
+
+class SCLinearSimulator:
+    """Bit-true SC forward for a fully-connected layer.
+
+    The feature axis is folded into an equivalent kernel so the same
+    partial-binary fabric applies: features are partitioned into
+    ``binary_groups`` contiguous groups; accumulation is OR within each
+    group and fixed point across groups (SC mode = 1 group, FXP = every
+    product in fixed point).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        cfg: SCConfig,
+        role: str = "output",
+        layer_index: int = 0,
+        binary_groups: int | None = None,
+    ):
+        mode = cfg.accumulation
+        if binary_groups is None:
+            if mode is AccumulationMode.SC:
+                binary_groups = 1
+            elif mode is AccumulationMode.FXP:
+                binary_groups = in_features
+            else:
+                # PBW/PBHW/APC: the widest parallel counter up to the
+                # target width that divides the feature count evenly.
+                target = 32 if mode is AccumulationMode.PBHW else 8
+                binary_groups = max(
+                    g
+                    for g in range(1, min(in_features, target) + 1)
+                    if in_features % g == 0
+                )
+        if in_features % binary_groups:
+            raise ConfigurationError(
+                f"in_features {in_features} not divisible by "
+                f"binary_groups {binary_groups}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.binary_groups = binary_groups
+        group_size = in_features // binary_groups
+        # Kernel layout (Cin=group_size, KH=1, KW=binary_groups): with
+        # KH=1, both PBW and PBHW accumulate OR within each group and
+        # fixed point across the ``binary_groups`` axis — exactly the
+        # row-segment fabric an FC layer maps onto.
+        self._conv = SCConvSimulator(
+            (out_features, group_size, 1, binary_groups),
+            cfg,
+            role=role,
+            layer_index=layer_index,
+        )
+
+    def __call__(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """``x``: (N, F) in [0,1]; ``weight``: (Fout, F) in [-1,1]."""
+        n = x.shape[0]
+        g = self.binary_groups
+        gs = self.in_features // g
+        # Features interleave into (group_size, 1, groups) kernels:
+        # feature f -> (cin = f % gs ... ) use contiguous split: group i
+        # holds features [i*gs, (i+1)*gs).
+        x4 = x.reshape(n, g, gs).transpose(0, 2, 1).reshape(n, gs, 1, g)
+        w4 = (
+            weight.reshape(self.out_features, g, gs)
+            .transpose(0, 2, 1)
+            .reshape(self.out_features, gs, 1, g)
+        )
+        out = self._conv(x4, w4)
+        return out.reshape(n, self.out_features)

@@ -1,0 +1,23 @@
+"""Shared low-level utilities: bit packing, seeding, and report printing."""
+
+from repro.utils.bitops import (
+    pack_bits,
+    unpack_bits,
+    popcount,
+    popcount_packed,
+    packed_words,
+)
+from repro.utils.seeding import SeedSequenceFactory, derive_seed
+from repro.utils.report import Table, format_ratio
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "popcount_packed",
+    "packed_words",
+    "SeedSequenceFactory",
+    "derive_seed",
+    "Table",
+    "format_ratio",
+]

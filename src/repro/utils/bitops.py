@@ -1,0 +1,137 @@
+"""Bit-level helpers for packed stochastic streams.
+
+Stochastic streams are long vectors of single bits. Simulating them one
+``bool`` per byte is 8x wasteful and, more importantly, prevents the use of
+word-wide logical operations. Throughout the library streams are therefore
+stored *packed*: the stream axis (always the last axis) is compressed into
+``uint64`` words, 64 stream bits per word, little-endian within the word
+(bit ``t`` of the stream lives at bit position ``t % 64`` of word
+``t // 64``).
+
+The functions here convert between the unpacked ``uint8``/``bool``
+representation and the packed ``uint64`` representation, and count set bits
+without unpacking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+WORD_BITS = 64
+
+# Lookup table: number of set bits in each possible byte value. Used to
+# popcount packed arrays by viewing the uint64 words as bytes.
+_BYTE_POPCOUNT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def packed_words(length: int) -> int:
+    """Number of ``uint64`` words needed to hold ``length`` stream bits."""
+    if length < 0:
+        raise ShapeError(f"stream length must be non-negative, got {length}")
+    return (length + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a bit array along its last axis into ``uint64`` words.
+
+    Parameters
+    ----------
+    bits:
+        Array of 0/1 values (any integer or bool dtype). Shape ``(..., L)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of shape ``(..., packed_words(L))``.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim == 0:
+        raise ShapeError("cannot pack a scalar; need at least one axis")
+    length = bits.shape[-1]
+    nwords = packed_words(length)
+    # np.packbits packs MSB-first per byte; we want bit t at position t%64.
+    # Using bitorder="little" puts bit index t at byte t//8, bit t%8, which
+    # composes with a little-endian uint64 view into exactly our layout.
+    packed_bytes = np.packbits(
+        bits.astype(np.uint8, copy=False), axis=-1, bitorder="little"
+    )
+    # Pad byte axis up to a multiple of 8 so it can be viewed as uint64.
+    pad = nwords * 8 - packed_bytes.shape[-1]
+    if pad:
+        pad_spec = [(0, 0)] * (packed_bytes.ndim - 1) + [(0, pad)]
+        packed_bytes = np.pad(packed_bytes, pad_spec)
+    packed_bytes = np.ascontiguousarray(packed_bytes)
+    return packed_bytes.view("<u8").reshape(bits.shape[:-1] + (nwords,))
+
+
+def unpack_bits(packed: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Parameters
+    ----------
+    packed:
+        ``uint64`` array of shape ``(..., W)``.
+    length:
+        Number of valid stream bits (``length <= W * 64``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` 0/1 array of shape ``(..., length)``.
+    """
+    packed = np.ascontiguousarray(packed, dtype="<u8")
+    capacity = packed.shape[-1] * WORD_BITS
+    if length > capacity:
+        raise ShapeError(
+            f"requested {length} bits from packed array holding {capacity}"
+        )
+    as_bytes = packed.view(np.uint8).reshape(packed.shape[:-1] + (-1,))
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :length]
+
+
+def popcount_packed(packed: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Count set bits of packed ``uint64`` words, summed along ``axis``.
+
+    Stream tails beyond the nominal length must already be zero (pack_bits
+    guarantees this), so no masking is needed.
+    """
+    packed = np.ascontiguousarray(packed, dtype="<u8")
+    as_bytes = packed.view(np.uint8).reshape(packed.shape[:-1] + (-1,))
+    counts = _BYTE_POPCOUNT[as_bytes]
+    if axis != -1 and axis != packed.ndim - 1:
+        raise ShapeError("popcount_packed only supports the last axis")
+    return counts.sum(axis=-1, dtype=np.int64)
+
+
+def popcount(values: np.ndarray | int) -> np.ndarray | int:
+    """Per-element population count of integer values (not packed arrays)."""
+    scalar = np.isscalar(values)
+    arr = np.asarray(values, dtype=np.uint64)
+    as_bytes = arr.reshape(arr.shape + (1,)).view(np.uint8)
+    counts = _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+    if scalar:
+        return int(counts)
+    return counts
+
+
+def mask_tail(packed: np.ndarray, length: int) -> np.ndarray:
+    """Zero any bits at positions >= ``length`` in a packed array (in place
+    on a copy; the input is not modified)."""
+    packed = np.array(packed, dtype="<u8", copy=True)
+    nwords = packed.shape[-1]
+    full_words, rem = divmod(length, WORD_BITS)
+    if full_words > nwords or (full_words == nwords and rem > 0):
+        raise ShapeError(
+            f"length {length} exceeds packed capacity {nwords * WORD_BITS}"
+        )
+    if full_words < nwords:
+        packed[..., full_words + (1 if rem else 0):] = 0
+        if rem:
+            keep = np.uint64((1 << rem) - 1)
+            packed[..., full_words] &= keep
+    return packed

@@ -1,0 +1,71 @@
+"""Plain-text tabular reporting for experiment harnesses.
+
+Every experiment runner prints a table of "paper-reported vs measured"
+values; this module renders them with aligned columns, no third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """Format a speedup/efficiency ratio the way the paper does (``4.4X``)."""
+    return f"{value:.{digits}f}X"
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """A minimal aligned-text table builder.
+
+    Examples
+    --------
+    >>> t = Table(["config", "paper", "measured"], title="demo")
+    >>> t.add_row(["GEO-32,64", "90.8%", "88.1%"])
+    >>> text = t.render()
+    >>> "GEO-32,64" in text
+    True
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [_cell(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(row: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * max(len(self.title), sum(widths) + 2 * len(widths)))
+        lines.append(fmt(self.columns))
+        lines.append(fmt(["-" * w for w in widths]))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()

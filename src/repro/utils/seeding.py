@@ -1,0 +1,53 @@
+"""Deterministic seed derivation.
+
+Every stochastic element in the library (LFSR seeds, TRNG draws, synthetic
+datasets, weight initialization) derives its seed from a root seed through
+a stable hash of a string path, so experiments are reproducible bit-for-bit
+across runs and machines while remaining statistically independent between
+components.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root: int, *path: object) -> int:
+    """Derive a 63-bit seed from a root seed and a path of labels.
+
+    The derivation uses BLAKE2b over the textual path, so it is stable
+    across Python versions and processes (unlike ``hash()``).
+    """
+    text = f"{root}:" + "/".join(str(p) for p in path)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") & (2**63 - 1)
+
+
+class SeedSequenceFactory:
+    """Factory producing named, reproducible numpy ``Generator`` objects.
+
+    Examples
+    --------
+    >>> factory = SeedSequenceFactory(root=42)
+    >>> rng = factory.generator("dataset", "train")
+    >>> rng2 = factory.generator("dataset", "train")
+    >>> float(rng.random()) == float(rng2.random())
+    True
+    """
+
+    def __init__(self, root: int = 0):
+        self.root = int(root)
+
+    def seed(self, *path: object) -> int:
+        """Return the derived integer seed for ``path``."""
+        return derive_seed(self.root, *path)
+
+    def generator(self, *path: object) -> np.random.Generator:
+        """Return a fresh PCG64 generator seeded from ``path``."""
+        return np.random.default_rng(self.seed(*path))
+
+    def child(self, *path: object) -> "SeedSequenceFactory":
+        """Return a factory rooted at a derived seed (namespacing)."""
+        return SeedSequenceFactory(self.seed(*path))

@@ -1,0 +1,147 @@
+"""Tests for the GEO ISA encoding and the layer compiler."""
+
+import pytest
+
+from repro.arch import (
+    GEO_ULP,
+    Instruction,
+    Opcode,
+    assemble,
+    chunk_units,
+    compile_layer,
+    compile_network,
+    disassemble,
+    layer_stream_length,
+)
+from repro.arch.compiler import loaded_bits
+from repro.errors import CompilationError
+from repro.models.shapes import cnn4_shapes, lenet5_shapes
+from repro.scnn.config import SCConfig
+
+CFG = SCConfig(stream_length=64, stream_length_pooling=32)
+
+
+class TestInstructionEncoding:
+    def test_roundtrip(self):
+        inst = Instruction(Opcode.GEN, 256, 3, 7)
+        decoded = Instruction.decode(inst.encode())
+        assert decoded == inst
+
+    def test_all_opcodes_roundtrip(self):
+        for op in Opcode:
+            inst = Instruction(op, 1, 2, 3)
+            assert Instruction.decode(inst.encode()).opcode is op
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(CompilationError):
+            Instruction(Opcode.GEN, 512)
+
+    def test_decode_bad_word(self):
+        with pytest.raises(CompilationError):
+            Instruction.decode(-1)
+        with pytest.raises(CompilationError):
+            Instruction.decode((31 << 27))  # opcode 31 undefined
+
+    def test_assemble_disassemble(self):
+        program = [
+            Instruction(Opcode.LD_WGT, 100),
+            Instruction(Opcode.GEN, 256),
+            Instruction(Opcode.HALT),
+        ]
+        words = assemble(program)
+        assert all(0 <= w < 2**32 for w in words)
+        assert disassemble(words) == program
+
+    def test_gen_cycles(self):
+        assert Instruction(Opcode.GEN, 256).cycles() == 256
+
+    def test_nm_acc_two_cycles_per_vector(self):
+        # The paper's 2-cycle read-add-write vector instruction.
+        assert Instruction(Opcode.NM_ACC, 5).cycles() == 10
+
+    def test_chunk_units(self):
+        assert chunk_units(1030, 511) == [511, 511, 8]
+        assert chunk_units(0) == [0]
+        with pytest.raises(CompilationError):
+            chunk_units(-1)
+
+
+class TestStreamLengthSelection:
+    def test_pooled_layer_uses_sp(self):
+        layers = cnn4_shapes(32)
+        assert layer_stream_length(layers[0], CFG, False) == 32
+
+    def test_fc_output_layer_uses_128(self):
+        layers = cnn4_shapes(32)
+        assert layer_stream_length(layers[-1], CFG, True) == 128
+
+    def test_plain_layer_uses_s(self):
+        layers = lenet5_shapes(28)
+        assert layer_stream_length(layers[2], CFG, False) == 64
+
+    def test_loaded_bits_truncation(self):
+        # Progressive loading fetches only the stream-relevant bits,
+        # rounded to the 2-bit group.
+        assert loaded_bits(128, progressive=False) == 8
+        assert loaded_bits(128, progressive=True) == 8  # 7 bits -> 8
+        assert loaded_bits(64, progressive=True) == 6
+        assert loaded_bits(32, progressive=True) == 6  # 5 bits -> 6
+        assert loaded_bits(16, progressive=True) == 4
+
+
+class TestCompiler:
+    def test_compile_network_layer_count(self):
+        programs = compile_network(cnn4_shapes(32), GEO_ULP, CFG)
+        assert len(programs) == 4
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_network([], GEO_ULP, CFG)
+
+    def test_gen_cycles_double_stream_length(self):
+        # Split-unipolar: physical stream length is double the nominal.
+        program = compile_layer(cnn4_shapes(32)[0], GEO_ULP, CFG)
+        assert program.gen_cycles_per_pass >= 2 * 32
+
+    def test_shadow_buffering_removes_stalls(self):
+        layer = cnn4_shapes(32)[1]  # kv = 800 exactly fills a row
+        shadow = compile_layer(layer, GEO_ULP, CFG)
+        parallel = compile_layer(
+            layer, GEO_ULP.with_(buffering="parallel"), CFG
+        )
+        assert shadow.reload_stall_per_pass == 0
+        assert parallel.reload_stall_per_pass > 0
+
+    def test_progressive_quarter_stall(self):
+        # Progressive loading exposes ~1/4 of the parallel reload (2 of
+        # 8 bits), on the reduced sliding-window entries.
+        layer = cnn4_shapes(32)[1]
+        parallel = compile_layer(layer, GEO_ULP.with_(buffering="parallel"), CFG)
+        progressive = compile_layer(
+            layer, GEO_ULP.with_(buffering="progressive"), CFG
+        )
+        assert progressive.reload_stall_per_pass < parallel.reload_stall_per_pass / 2
+
+    def test_programs_encode(self):
+        for program in compile_network(cnn4_shapes(32), GEO_ULP, CFG):
+            words = assemble(program.instructions)
+            assert disassemble(words) == program.instructions
+
+    def test_oversized_kernel_uses_near_memory(self):
+        fc = cnn4_shapes(32)[-1]  # 1024 inputs > 800 row width
+        program = compile_layer(fc, GEO_ULP, CFG, is_output_layer=True)
+        assert program.mapping.segments == 2
+        assert program.nm_acc_cycles > 0
+        assert program.counts.dataflow == "weight_stationary"
+
+    def test_oversized_kernel_without_near_memory_is_os(self):
+        fc = cnn4_shapes(32)[-1]
+        arch = GEO_ULP.with_(near_memory=False)
+        program = compile_layer(fc, arch, CFG, is_output_layer=True)
+        assert program.counts.dataflow == "output_stationary"
+        assert program.nm_acc_cycles == 0
+
+    def test_total_cycles_positive_and_consistent(self):
+        for program in compile_network(lenet5_shapes(28), GEO_ULP, CFG):
+            assert program.total_cycles >= program.epilogue_cycles
+            assert program.generation_cycles > 0

@@ -1,0 +1,141 @@
+"""Tests for the Eyeriss baseline model and literature rows."""
+
+import pytest
+
+from repro.arch import GEO_LP, GEO_ULP, STREAMS_32_64, STREAMS_64_128, simulate
+from repro.baselines import (
+    CONV_RAM,
+    EYERISS_LP_8BIT,
+    EYERISS_ULP_4BIT,
+    EyerissConfig,
+    LITERATURE_ROWS,
+    MDL_CNN,
+    PAPER_TABLE1_ACCURACY,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    SCOPE,
+    simulate_eyeriss,
+)
+from repro.errors import ConfigurationError
+from repro.models.shapes import cnn4_shapes, lenet5_shapes, vgg16_shapes
+
+CNN4 = cnn4_shapes(32)
+VGG = vgg16_shapes(32)
+
+
+class TestEyerissConfig:
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EyerissConfig("x", bits=5, pe_count=10, glb_kb=10)
+
+    def test_invalid_pe_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EyerissConfig("x", bits=8, pe_count=0, glb_kb=10)
+
+    def test_8bit_pe_larger_than_4bit(self):
+        a = EyerissConfig("a", bits=4, pe_count=1, glb_kb=1)
+        b = EyerissConfig("b", bits=8, pe_count=1, glb_kb=1)
+        assert b.pe_area_mm2() > a.pe_area_mm2()
+
+    def test_mac_energy_quadratic_in_bits(self):
+        a = EyerissConfig("a", bits=4, pe_count=1, glb_kb=1)
+        b = EyerissConfig("b", bits=8, pe_count=1, glb_kb=1)
+        assert b.mac_energy_pj() == pytest.approx(4 * a.mac_energy_pj())
+
+    def test_peak_gops(self):
+        cfg = EyerissConfig("x", bits=4, pe_count=100, glb_kb=10)
+        assert cfg.peak_gops == pytest.approx(80.0)
+
+
+class TestEyerissSimulation:
+    def test_cnn4_fps_near_paper(self):
+        # Table II: Eyeriss 4-bit, CIFAR-10 CNN-4 = 5.2k Fr/s.
+        report = simulate_eyeriss(CNN4, EYERISS_ULP_4BIT)
+        assert 3500 < report.frames_per_second < 7500
+
+    def test_vgg_fps_near_paper(self):
+        # Table III: Eyeriss 8-bit VGG = 555 Fr/s.
+        report = simulate_eyeriss(VGG, EYERISS_LP_8BIT)
+        assert 350 < report.frames_per_second < 900
+
+    def test_lenet_faster_than_cnn4(self):
+        lenet = simulate_eyeriss(lenet5_shapes(28), EYERISS_ULP_4BIT)
+        cnn4 = simulate_eyeriss(CNN4, EYERISS_ULP_4BIT)
+        assert lenet.frames_per_second > 5 * cnn4.frames_per_second
+
+    def test_external_weight_streaming_for_vgg(self):
+        report = simulate_eyeriss(VGG, EYERISS_LP_8BIT)
+        assert report.external_bytes > 0
+        with_ext = report.energy_per_frame_j(include_external=True)
+        without = report.energy_per_frame_j(include_external=False)
+        assert with_ext > without
+
+    def test_no_external_for_cnn4_ulp(self):
+        report = simulate_eyeriss(CNN4, EYERISS_ULP_4BIT)
+        assert report.external_bytes == 0
+
+    def test_tops_per_watt_positive(self):
+        report = simulate_eyeriss(CNN4, EYERISS_ULP_4BIT)
+        assert 0.5 < report.tops_per_watt < 20
+
+
+class TestGeoVsEyeriss:
+    def test_geo_ulp_beats_eyeriss_4bit(self):
+        # Table II headline: 2.7X throughput, 2.6X energy efficiency.
+        geo = simulate(CNN4, GEO_ULP, STREAMS_32_64)
+        eyeriss = simulate_eyeriss(CNN4, EYERISS_ULP_4BIT)
+        assert geo.frames_per_second > 1.5 * eyeriss.frames_per_second
+        assert geo.frames_per_joule > 1.3 * eyeriss.frames_per_joule()
+
+    def test_geo_lp_beats_eyeriss_8bit(self):
+        # Table III headline: 5.6X throughput, 2.6X energy efficiency.
+        geo = simulate(VGG, GEO_LP, STREAMS_64_128)
+        eyeriss = simulate_eyeriss(VGG, EYERISS_LP_8BIT)
+        assert geo.frames_per_second > 1.5 * eyeriss.frames_per_second
+        assert geo.frames_per_joule > 1.2 * eyeriss.frames_per_joule()
+
+    def test_advantage_grows_without_external(self):
+        # "when those are omitted, GEO is as much as 6.1X more
+        # energy-efficient than Eyeriss"
+        geo = simulate(VGG, GEO_LP, STREAMS_64_128)
+        eyeriss = simulate_eyeriss(VGG, EYERISS_LP_8BIT)
+        ext = sum(
+            l.energy_pj.get("External Memory", 0.0) for l in geo.layers
+        )
+        geo_internal = 1.0 / (
+            (geo.dynamic_energy_pj - ext + geo.leakage_energy_pj) * 1e-12
+        )
+        with_ext = geo.frames_per_joule / eyeriss.frames_per_joule()
+        without = geo_internal / eyeriss.frames_per_joule(include_external=False)
+        assert without > with_ext
+
+    def test_iso_area_comparison(self):
+        # PE counts were chosen for close-to-iso-area points.
+        geo_area = simulate(CNN4, GEO_ULP, STREAMS_32_64).total_area_mm2
+        assert 0.3 < EYERISS_ULP_4BIT.area_mm2 / geo_area < 1.5
+
+
+class TestLiteratureRows:
+    def test_all_rows_registered(self):
+        assert set(LITERATURE_ROWS) == {"scope", "sm-sc", "conv-ram", "mdl-cnn"}
+
+    def test_scope_footprint(self):
+        # SCOPE has a massive DRAM-process footprint (273 mm^2); GEO-LP
+        # occupies only a few percent of it.
+        assert SCOPE.area_mm2 == 273.0
+
+    def test_mixed_signal_energy_numbers(self):
+        assert CONV_RAM.peak_tops_per_watt > 40
+        assert MDL_CNN.frames_per_joule["mnist/lenet5"] == 50e6
+
+    def test_paper_accuracy_table_keys(self):
+        assert ("cifar10", "cnn4") in PAPER_TABLE1_ACCURACY
+        assert ("mnist", "lenet5") in PAPER_TABLE1_ACCURACY
+        row = PAPER_TABLE1_ACCURACY[("svhn", "cnn4")]
+        # Paper: GEO-32,64 = 90.8% on SVHN CNN-4.
+        assert row["geo-32-64"] == pytest.approx(0.908)
+
+    def test_paper_tables_cover_comparison_columns(self):
+        assert "geo-ulp-32-64" in PAPER_TABLE2
+        assert "acoustic-lp-256" in PAPER_TABLE3
+        assert PAPER_TABLE2["geo-ulp-32-64"]["peak_gops"] == 640

@@ -1,0 +1,121 @@
+"""Unit and property tests for packed-bit helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.utils.bitops import (
+    mask_tail,
+    pack_bits,
+    packed_words,
+    popcount,
+    popcount_packed,
+    unpack_bits,
+)
+
+
+class TestPackedWords:
+    def test_exact_boundaries(self):
+        assert packed_words(0) == 0
+        assert packed_words(1) == 1
+        assert packed_words(64) == 1
+        assert packed_words(65) == 2
+        assert packed_words(128) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            packed_words(-1)
+
+
+class TestPackRoundtrip:
+    def test_simple_roundtrip(self):
+        bits = np.array([[1, 0, 1, 1, 0], [0, 0, 0, 1, 1]], dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (2, 1)
+        assert packed.dtype == np.uint64
+        np.testing.assert_array_equal(unpack_bits(packed, 5), bits)
+
+    def test_bit_position_convention(self):
+        # Bit t of the stream must live at bit t%64 of word t//64.
+        bits = np.zeros(70, dtype=np.uint8)
+        bits[0] = 1
+        bits[65] = 1
+        packed = pack_bits(bits[None, :])
+        assert packed[0, 0] == 1
+        assert packed[0, 1] == 2
+
+    def test_tail_bits_are_zero(self):
+        bits = np.ones((3, 10), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert int(packed[0, 0]) == (1 << 10) - 1
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ShapeError):
+            pack_bits(np.uint8(1))
+
+    def test_unpack_too_many_bits_rejected(self):
+        packed = pack_bits(np.ones((2, 64), dtype=np.uint8))
+        with pytest.raises(ShapeError):
+            unpack_bits(packed, 65)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, length, rows, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(rows, length), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (rows, packed_words(length))
+        np.testing.assert_array_equal(unpack_bits(packed, length), bits)
+
+
+class TestPopcount:
+    def test_popcount_packed_matches_sum(self):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, size=(4, 130), dtype=np.uint8)
+        packed = pack_bits(bits)
+        np.testing.assert_array_equal(
+            popcount_packed(packed), bits.sum(axis=-1)
+        )
+
+    def test_popcount_scalar(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 64) - 1) == 64
+
+    def test_popcount_array(self):
+        np.testing.assert_array_equal(
+            popcount(np.array([0, 1, 3, 255])), [0, 1, 2, 8]
+        )
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_popcount_matches_python(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestMaskTail:
+    def test_masks_partial_word(self):
+        packed = np.array([[~np.uint64(0)]])
+        masked = mask_tail(packed, 10)
+        assert int(masked[0, 0]) == (1 << 10) - 1
+
+    def test_masks_full_words(self):
+        packed = np.full((1, 3), ~np.uint64(0))
+        masked = mask_tail(packed, 64)
+        assert int(masked[0, 0]) == int(~np.uint64(0))
+        assert masked[0, 1] == 0 and masked[0, 2] == 0
+
+    def test_does_not_mutate_input(self):
+        packed = np.full((1, 1), ~np.uint64(0))
+        mask_tail(packed, 1)
+        assert int(packed[0, 0]) == int(~np.uint64(0))
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ShapeError):
+            mask_tail(np.zeros((1, 1), dtype=np.uint64), 65)

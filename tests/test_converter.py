@@ -1,0 +1,110 @@
+"""Tests for the bit-accurate output converter model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.sc.converter import OutputConverter, required_counter_bits
+from repro.sc.streams import StreamBatch
+
+
+def make_streams(bits_array):
+    return StreamBatch.from_bits(np.asarray(bits_array, dtype=np.uint8))
+
+
+class TestScalarCounterPath:
+    def test_accumulates_and_converts(self):
+        conv = OutputConverter(counter_bits=8)
+        for _ in range(10):
+            conv.step(1, 0)
+        for _ in range(4):
+            conv.step(0, 1)
+        assert conv.pos_count == 10 and conv.neg_count == 4
+        assert conv.value(stream_length=16) == pytest.approx(6 / 16)
+
+    def test_saturation_flag(self):
+        conv = OutputConverter(counter_bits=3)  # limit 7
+        for _ in range(10):
+            conv.step(1, 0)
+        assert conv.overflowed
+        assert conv.pos_count == 7
+
+    def test_reset(self):
+        conv = OutputConverter()
+        conv.step(5, 2)
+        conv.reset()
+        assert conv.pos_count == 0 and not conv.overflowed
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutputConverter().step(-1, 0)
+
+    def test_pooling_scales_value(self):
+        conv = OutputConverter(pooling_inputs=4)
+        conv.step(8, 0)
+        assert conv.value(stream_length=8) == pytest.approx(8 / 8 / 4)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            OutputConverter(counter_bits=0)
+        with pytest.raises(ConfigurationError):
+            OutputConverter(pooling_inputs=0)
+
+
+class TestVectorPath:
+    def test_matches_popcount_average(self):
+        rng = np.random.default_rng(0)
+        pos = make_streams(rng.integers(0, 2, size=(5, 4, 64)))
+        neg = make_streams(rng.integers(0, 2, size=(5, 4, 64)))
+        conv = OutputConverter(counter_bits=16, pooling_inputs=4)
+        values = conv.convert_streams(pos, neg)
+        expected = (
+            pos.bits().sum(axis=(-2, -1), dtype=np.int64)
+            - neg.bits().sum(axis=(-2, -1), dtype=np.int64)
+        ) / 64 / 4
+        np.testing.assert_allclose(values, expected)
+
+    def test_average_pooling_semantics(self):
+        # Four identical pooled streams of value v average back to v.
+        bits = np.zeros((1, 4, 32), dtype=np.uint8)
+        bits[:, :, :8] = 1  # each stream value 0.25
+        pos = make_streams(bits)
+        neg = make_streams(np.zeros_like(bits))
+        conv = OutputConverter(pooling_inputs=4)
+        np.testing.assert_allclose(
+            conv.convert_streams(pos, neg), [0.25]
+        )
+
+    def test_shape_validation(self):
+        pos = make_streams(np.zeros((2, 4, 16), dtype=np.uint8))
+        neg = make_streams(np.zeros((2, 2, 16), dtype=np.uint8))
+        conv = OutputConverter(pooling_inputs=4)
+        with pytest.raises(ShapeError):
+            conv.convert_streams(pos, neg)
+
+    def test_counter_clipping_in_vector_path(self):
+        bits = np.ones((1, 1, 64), dtype=np.uint8)
+        pos = make_streams(bits)
+        neg = make_streams(np.zeros_like(bits))
+        conv = OutputConverter(counter_bits=4, pooling_inputs=1)  # limit 15
+        values = conv.convert_streams(pos, neg)
+        assert values[0] == pytest.approx(15 / 64)
+
+
+class TestCounterSizing:
+    def test_required_bits(self):
+        # All-OR (1 group), 128-bit streams: counts to 128 -> 8 bits.
+        assert required_counter_bits(1, 128) == 8
+        # PBW with 5 groups and pooling by 4: 5*128*4 = 2560 -> 12 bits.
+        assert required_counter_bits(5, 128, 4) == 12
+
+    def test_sized_counter_never_saturates(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(3, 4, 128), dtype=np.uint8)
+        pos = make_streams(bits)
+        neg = make_streams(np.zeros_like(bits))
+        width = required_counter_bits(1, 128, 4)
+        conv = OutputConverter(counter_bits=width, pooling_inputs=4)
+        values = conv.convert_streams(pos, neg)
+        expected = bits.sum(axis=(-2, -1)) / 128 / 4
+        np.testing.assert_allclose(values, expected)

@@ -1,0 +1,221 @@
+"""Tests for the cost models — including the Fig. 5 ratio claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.cost import (
+    SRAM,
+    BlockCost,
+    ExternalMemory,
+    batch_norm_unit_area,
+    delay_scale_at_voltage,
+    energy_scale_at_voltage,
+    fixed_point_mac_area,
+    lfsr_area,
+    mac_area_ratio,
+    max_voltage_reduction,
+    output_converter_area,
+    sc_mac_area,
+    scale_area,
+    scale_energy,
+    scale_frequency,
+    sng_area,
+)
+
+
+class TestBlockCost:
+    def test_area_conversion(self):
+        block = BlockCost("x", gates=1000.0)
+        assert block.area_um2 == pytest.approx(490.0)
+        assert block.area_mm2 == pytest.approx(4.9e-4)
+
+    def test_energy_scales_with_voltage_squared(self):
+        block = BlockCost("x", gates=100.0, toggle_rate=0.2)
+        e90 = block.dynamic_energy_pj(1000, vdd=0.9)
+        e81 = block.dynamic_energy_pj(1000, vdd=0.81)
+        assert e81 / e90 == pytest.approx(0.81, rel=1e-3)
+
+    def test_scaled(self):
+        block = BlockCost("x", gates=10.0)
+        assert block.scaled(5).gates == 50.0
+
+
+class TestFig5MACAreaClaims:
+    """The Fig. 5 statements, asserted as inequalities."""
+
+    def test_pbw_small_kernel_overhead_about_1p4x(self):
+        # "area overhead of PBW ... can be as much as 1.4X ... for
+        # smaller kernels"
+        ratio = mac_area_ratio((1, 5, 5), "pbw")
+        assert 1.2 < ratio < 1.8
+
+    def test_pbhw_small_kernel_overhead_about_4p5x(self):
+        ratio = mac_area_ratio((1, 5, 5), "pbhw")
+        assert 3.5 < ratio < 6.5
+
+    def test_pbw_large_kernel_overhead_small(self):
+        # "...goes down to 4% ... for large ones"
+        assert mac_area_ratio((512, 3, 3), "pbw") < 1.06
+        assert mac_area_ratio((64, 5, 5), "pbw") < 1.06
+
+    def test_pbhw_large_kernel_overhead_under_ten_percent(self):
+        assert mac_area_ratio((512, 3, 3), "pbhw") < 1.10
+        assert mac_area_ratio((64, 5, 5), "pbhw") < 1.10
+
+    def test_fxp_over_5x_for_most_kernels(self):
+        for kernel in [(3, 5, 5), (32, 3, 3), (32, 5, 5), (512, 3, 3)]:
+            assert mac_area_ratio(kernel, "fxp") > 5.0, kernel
+
+    def test_apc_cheaper_than_fxp_but_3x_pbw(self):
+        for kernel in [(32, 5, 5), (512, 3, 3)]:
+            apc = mac_area_ratio(kernel, "apc")
+            fxp = mac_area_ratio(kernel, "fxp")
+            pbw = mac_area_ratio(kernel, "pbw")
+            assert apc < fxp
+            assert apc > 3.0 * pbw
+
+    def test_pbhw_uses_more_binary_fabric_than_pbw(self):
+        a = sc_mac_area((8, 5, 5), "pbw")
+        b = sc_mac_area((8, 5, 5), "pbhw")
+        assert b.binary_fabric > a.binary_fabric
+        assert a.multipliers == b.multipliers
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sc_mac_area((0, 3, 3), "sc")
+
+    @given(
+        st.integers(min_value=1, max_value=256),
+        st.sampled_from([1, 3, 5]),
+        st.sampled_from([1, 3, 5]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mode_area_ordering_property(self, cin, h, w):
+        # SC <= PBW <= PBHW and FXP is the most expensive exact fabric.
+        sc = sc_mac_area((cin, h, w), "sc").total
+        pbw = sc_mac_area((cin, h, w), "pbw").total
+        pbhw = sc_mac_area((cin, h, w), "pbhw").total
+        fxp = sc_mac_area((cin, h, w), "fxp").total
+        assert sc <= pbw + 1e-9 <= pbhw + 1e-9
+        assert fxp >= pbhw - 1e-9
+
+
+class TestConverterAndFrontEnd:
+    def test_output_converter_grows_with_mode(self):
+        sc = output_converter_area("sc", (32, 5, 5))
+        pbw = output_converter_area("pbw", (32, 5, 5))
+        assert pbw > sc
+
+    def test_pooling_fabric_costs_extra(self):
+        base = output_converter_area("pbw", (32, 5, 5), pooling_inputs=1)
+        pooled = output_converter_area("pbw", (32, 5, 5), pooling_inputs=4)
+        assert pooled > base
+
+    def test_shared_sng_cheaper_than_private(self):
+        assert sng_area(8, shared_rng=True) < sng_area(8, shared_rng=False)
+
+    def test_shadow_buffer_is_cheap(self):
+        # Progressive shadow buffers add only the 2-bit prefix register:
+        # a small fraction of the SNG (paper: ~4% accelerator level).
+        plain = sng_area(8, shared_rng=True, shadow=False)
+        shadowed = sng_area(8, shared_rng=True, shadow=True)
+        assert (shadowed - plain) / plain < 0.25
+
+    def test_lfsr_area_scales_with_width(self):
+        assert lfsr_area(16) > lfsr_area(8)
+
+    def test_fixed_point_mac_much_larger_than_sc_products(self):
+        # An 8-bit fixed-point MAC dwarfs a 2-AND SC multiplier slice —
+        # the computational-density argument of the paper's intro.
+        sc_unit = sc_mac_area((1, 1, 1), "sc").total
+        assert fixed_point_mac_area(8) > 50 * sc_unit
+
+    def test_bn_unit_area_positive(self):
+        assert batch_norm_unit_area(8) > 0
+
+
+class TestSRAM:
+    def test_area_scales_with_capacity(self):
+        small = SRAM("a", 16 * 1024)
+        large = SRAM("b", 256 * 1024)
+        assert large.area_mm2 > small.area_mm2
+
+    def test_access_energy_grows_sublinearly(self):
+        small = SRAM("a", 16 * 1024)
+        large = SRAM("b", 16 * 16 * 1024)
+        ratio = large.access_energy_pj() / small.access_energy_pj()
+        assert 1.0 < ratio < 16.0
+
+    def test_width_scales_energy(self):
+        narrow = SRAM("a", 64 * 1024, width_bits=32)
+        wide = SRAM("b", 64 * 1024, width_bits=128)
+        assert wide.access_energy_pj() > narrow.access_energy_pj()
+
+    def test_150kb_geo_ulp_memory_area_reasonable(self):
+        # The ULP variant has 150 KB total on-chip; its memory area must
+        # fit well inside the 0.58 mm^2 total.
+        mem = SRAM("ulp", 150 * 1024)
+        assert 0.1 < mem.area_mm2 < 0.5
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SRAM("x", 0)
+        with pytest.raises(ConfigurationError):
+            SRAM("x", 1024, width_bits=0)
+
+    def test_bandwidth(self):
+        mem = SRAM("x", 64 * 1024, width_bits=64, banks=2)
+        assert mem.bandwidth_bytes_per_cycle() == 16.0
+
+
+class TestExternalMemory:
+    def test_hbm2_energy_per_bit(self):
+        hbm = ExternalMemory()
+        assert hbm.access_energy_pj(1) == pytest.approx(3.9 * 8)
+
+    def test_transfer_cycles(self):
+        hbm = ExternalMemory(bandwidth_gb_s=256)
+        # At 400 MHz: 640 bytes/cycle.
+        assert hbm.transfer_cycles(6400, clock_mhz=400) == pytest.approx(10.0)
+
+    def test_zero_bytes(self):
+        assert ExternalMemory().transfer_cycles(0, 400) == 0.0
+
+
+class TestScaling:
+    def test_identity_at_28nm(self):
+        assert scale_area(5.0, 28, 28) == 5.0
+        assert scale_energy(5.0, 28, 28) == 5.0
+
+    def test_65_to_28_shrinks(self):
+        assert scale_area(1.0, 65, 28) < 0.3
+        assert scale_energy(1.0, 65, 28) < 0.3
+        assert scale_frequency(1.0, 65, 28) > 1.5
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_area(1.0, 33, 28)
+
+    def test_voltage_delay_monotonic(self):
+        assert delay_scale_at_voltage(0.81) > 1.0
+        assert delay_scale_at_voltage(1.0) < 1.0
+
+    def test_energy_square_law(self):
+        assert energy_scale_at_voltage(0.81) == pytest.approx(0.81, rel=1e-6)
+
+    def test_pipeline_slack_enables_081v(self):
+        # The Sec. III-D claim: >30% critical-path reduction allows
+        # dropping to ~0.81 V at the same frequency.
+        vdd = max_voltage_reduction(slack_fraction=0.30)
+        assert 0.75 < vdd < 0.86
+
+    def test_vth_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            delay_scale_at_voltage(0.3)
+
+    def test_bad_slack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_voltage_reduction(1.5)

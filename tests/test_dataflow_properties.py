@@ -1,0 +1,105 @@
+"""Property tests over random layer shapes: dataflow and mapping
+invariants that must hold for *any* layer the compiler can see."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    GEO_ULP,
+    input_stationary_counts,
+    map_layer,
+    output_stationary_counts,
+    weight_stationary_counts,
+)
+from repro.models.shapes import LayerShape
+
+
+@st.composite
+def conv_layers(draw):
+    cin = draw(st.sampled_from([1, 3, 8, 16, 32, 64]))
+    cout = draw(st.sampled_from([4, 8, 16, 32, 64]))
+    kernel = draw(st.sampled_from([1, 3, 5]))
+    size = draw(st.sampled_from([8, 16, 28, 32]))
+    pooled = draw(st.booleans())
+    assume(size > kernel)
+    if pooled:
+        out = (size + 2 * (kernel // 2) - kernel) + 1
+        assume(out % 2 == 0)
+    return LayerShape(
+        "conv", "conv", cin, cout, kernel, size,
+        padding=kernel // 2, pooled=pooled,
+    )
+
+
+class TestMappingProperties:
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_mapping_covers_all_outputs(self, layer):
+        m = map_layer(layer, GEO_ULP)
+        # passes x windows x frames x rows covers every output of every
+        # channel batch at least once.
+        capacity = (
+            m.passes
+            * m.windows_per_pass
+            * m.frames_per_pass
+            * min(layer.out_channels, GEO_ULP.rows)
+        )
+        per_frame_outputs = layer.out_channels * layer.conv_output_size**2
+        assert capacity * max(m.segments, 1) >= per_frame_outputs
+
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_used_macs_within_array(self, layer):
+        m = map_layer(layer, GEO_ULP)
+        assert 0 < m.used_macs <= GEO_ULP.total_macs
+
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_stored_never_exceeds_computed(self, layer):
+        m = map_layer(layer, GEO_ULP)
+        assert m.stored_outputs <= m.outputs
+
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_segments_match_kernel_volume(self, layer):
+        m = map_layer(layer, GEO_ULP)
+        assert m.segments == math.ceil(
+            layer.kernel_volume / GEO_ULP.row_width
+        ) or (layer.kernel_volume <= GEO_ULP.row_width and m.segments == 1)
+
+
+class TestDataflowProperties:
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_all_counts_non_negative(self, layer):
+        for counts in (
+            weight_stationary_counts(layer, GEO_ULP, near_memory=True),
+            output_stationary_counts(layer, GEO_ULP),
+            input_stationary_counts(layer, GEO_ULP),
+        ):
+            assert counts.act_reads >= 0
+            assert counts.wgt_reads >= 0
+            assert counts.psum_accesses >= 0
+            assert counts.total > 0
+
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_ws_never_loses_to_os(self, layer):
+        ws = weight_stationary_counts(layer, GEO_ULP, near_memory=True)
+        os_ = output_stationary_counts(layer, GEO_ULP)
+        assert ws.total <= os_.total
+
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_ws_reads_weights_exactly_once(self, layer):
+        ws = weight_stationary_counts(layer, GEO_ULP, near_memory=True)
+        assert ws.wgt_reads == layer.weights
+
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_psum_share_bounded(self, layer):
+        ws = weight_stationary_counts(layer, GEO_ULP, near_memory=True)
+        assert 0.0 <= ws.psum_share_act_memory <= 1.0

@@ -1,0 +1,154 @@
+"""Tests for synthetic datasets and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.datasets import SPECS, SyntheticImages, downscale, load_pair
+from repro.models import (
+    cnn4_fp,
+    cnn4_sc,
+    cnn4_shapes,
+    lenet5_fp,
+    lenet5_sc,
+    lenet5_shapes,
+    total_macs,
+    vgg16_fp,
+    vgg16_sc,
+    vgg16_shapes,
+)
+from repro.nn.tensor import Tensor
+from repro.scnn import SCConfig
+
+CFG = SCConfig(stream_length=32, stream_length_pooling=32)
+
+
+class TestSyntheticDatasets:
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    def test_shapes_match_real_datasets(self, name):
+        spec = SPECS[name]
+        images, labels = SyntheticImages(name, seed=0).sample(16)
+        assert images.shape == (16, spec.channels, spec.size, spec.size)
+        assert labels.shape == (16,)
+        assert labels.min() >= 0 and labels.max() < spec.num_classes
+
+    def test_pixel_range_is_unit_interval(self):
+        images, _ = SyntheticImages("svhn", seed=0).sample(32)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_reproducible(self):
+        a, la = SyntheticImages("cifar10", seed=3).sample(8)
+        b, lb = SyntheticImages("cifar10", seed=3).sample(8)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_splits_differ(self):
+        gen = SyntheticImages("mnist", seed=0)
+        train, _ = gen.sample(8, "train")
+        test, _ = gen.sample(8, "test")
+        assert not np.array_equal(train, test)
+
+    def test_classes_are_separable_by_template_matching(self):
+        # Nearest-prototype classification must beat chance by a wide
+        # margin, otherwise no network could learn the data.
+        gen = SyntheticImages("svhn", seed=0)
+        images, labels = gen.sample(128, "test")
+        protos = np.stack([p for p in gen._prototypes])
+        protos = (protos - protos.mean()) / protos.std()
+        flat = images - images.mean(axis=(1, 2, 3), keepdims=True)
+        scores = np.einsum("nchw,kchw->nk", flat, protos)
+        acc = (scores.argmax(axis=1) == labels).mean()
+        assert acc > 0.5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticImages("imagenet")
+
+    def test_load_pair(self):
+        train, test = load_pair("mnist", 10, 5, seed=1)
+        assert len(train) == 10 and len(test) == 5
+
+    def test_downscale(self):
+        train, _ = load_pair("svhn", 4, 2, seed=0)
+        small = downscale(train, 2)
+        assert small.images.shape == (4, 3, 16, 16)
+        with pytest.raises(ConfigurationError):
+            downscale(small, 3)
+
+
+class TestModelZoo:
+    def test_cnn4_fp_forward(self):
+        model = cnn4_fp(input_size=16, width_mult=0.25, kernel_size=3)
+        out = model(Tensor(np.random.default_rng(0).uniform(0, 1, (2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_cnn4_sc_forward(self):
+        model = cnn4_sc(CFG, input_size=16, width_mult=0.25, kernel_size=3)
+        out = model(Tensor(np.random.default_rng(1).uniform(0, 1, (2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_cnn4_quantized(self):
+        model = cnn4_fp(input_size=16, width_mult=0.25, kernel_size=3, quant_bits=4)
+        out = model(Tensor(np.random.default_rng(2).uniform(0, 1, (1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_cnn4_bad_input_size(self):
+        with pytest.raises(ConfigurationError):
+            cnn4_fp(input_size=20)
+
+    def test_lenet5_fp_forward(self):
+        model = lenet5_fp(input_size=28)
+        out = model(Tensor(np.random.default_rng(3).uniform(0, 1, (2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_lenet5_sc_forward_small(self):
+        model = lenet5_sc(CFG, input_size=12, width_mult=0.5, kernel_size=3)
+        out = model(Tensor(np.random.default_rng(4).uniform(0, 1, (1, 1, 12, 12))))
+        assert out.shape == (1, 10)
+
+    def test_vgg16_fp_forward_tiny(self):
+        model = vgg16_fp(input_size=32, width_mult=0.0625)
+        out = model(Tensor(np.random.default_rng(5).uniform(0, 1, (1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+    def test_vgg16_sc_builds(self):
+        model = vgg16_sc(CFG, input_size=32, width_mult=0.0625)
+        assert model.num_parameters() > 0
+
+    def test_vgg16_bad_input_size(self):
+        with pytest.raises(ConfigurationError):
+            vgg16_fp(input_size=24)
+
+
+class TestShapes:
+    def test_cnn4_shapes(self):
+        layers = cnn4_shapes(32)
+        assert [l.name for l in layers] == ["conv1", "conv2", "conv3", "fc"]
+        assert layers[0].output_size == 16  # pooled
+        assert layers[2].out_channels == 64
+        assert layers[3].in_channels == 64 * 4 * 4
+
+    def test_lenet5_shapes(self):
+        layers = lenet5_shapes(28)
+        assert layers[2].in_channels == 16 * 7 * 7
+        assert layers[-1].out_channels == 10
+
+    def test_vgg16_shapes(self):
+        layers = vgg16_shapes(32)
+        convs = [l for l in layers if l.kind == "conv"]
+        assert len(convs) == 13
+        assert convs[-1].out_channels == 512
+        assert layers[-2].out_channels == 512  # FC-512 head
+
+    def test_macs_positive_and_ordered(self):
+        # VGG-16 dwarfs CNN-4 which dwarfs LeNet-5 in MACs.
+        assert (
+            total_macs(vgg16_shapes(32))
+            > total_macs(cnn4_shapes(32))
+            > total_macs(lenet5_shapes(28))
+        )
+
+    def test_conv_macs_formula(self):
+        layer = cnn4_shapes(32)[0]
+        # 32x32 output positions (pad 2, stride 1), 32 channels, 3*5*5.
+        assert layer.macs == 32 * 32 * 32 * 75

@@ -1,0 +1,85 @@
+"""Tests for detailed evaluation diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor
+from repro.scnn.eval import EvalReport, compare_arms, evaluate_detailed
+
+
+class FixedModel(nn.Module):
+    """Predicts a fixed class for every input."""
+
+    def __init__(self, cls: int, num_classes: int = 4):
+        super().__init__()
+        self.cls = cls
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        logits = np.zeros((x.shape[0], self.num_classes), dtype=np.float32)
+        logits[:, self.cls] = 1.0
+        return Tensor(logits)
+
+
+def balanced_dataset(n=40, num_classes=4):
+    labels = np.arange(n) % num_classes
+    images = np.zeros((n, 1, 2, 2), dtype=np.float32)
+    return nn.ArrayDataset(images, labels)
+
+
+class TestEvalReport:
+    def test_confusion_shape_and_totals(self):
+        report = evaluate_detailed(FixedModel(0), balanced_dataset(), 4)
+        assert report.confusion.shape == (4, 4)
+        assert report.confusion.sum() == 40
+
+    def test_fixed_predictor_accuracy(self):
+        report = evaluate_detailed(FixedModel(2), balanced_dataset(), 4)
+        assert report.accuracy == pytest.approx(0.25)
+        assert report.collapse_score() == pytest.approx(1.0)
+
+    def test_per_class_accuracy(self):
+        report = evaluate_detailed(FixedModel(1), balanced_dataset(), 4)
+        per_class = report.per_class_accuracy
+        assert per_class[1] == pytest.approx(1.0)
+        assert per_class[0] == pytest.approx(0.0)
+
+    def test_perfect_model(self):
+        class Oracle(nn.Module):
+            def forward(self, x):
+                # The dataset encodes the label in pixel [0,0,0].
+                logits = np.zeros((x.shape[0], 4), dtype=np.float32)
+                labels = x.data[:, 0, 0, 0].astype(int)
+                logits[np.arange(x.shape[0]), labels] = 1.0
+                return Tensor(logits)
+
+        labels = np.arange(20) % 4
+        images = np.zeros((20, 1, 2, 2), dtype=np.float32)
+        images[:, 0, 0, 0] = labels
+        ds = nn.ArrayDataset(images, labels)
+        report = evaluate_detailed(Oracle(), ds, 4)
+        assert report.accuracy == 1.0
+        assert report.collapse_score() == pytest.approx(0.25)
+
+    def test_empty_dataset_rejected(self):
+        empty = nn.ArrayDataset(np.zeros((0, 1, 2, 2)), np.zeros(0, dtype=int))
+        with pytest.raises(ShapeError):
+            evaluate_detailed(FixedModel(0), empty, 4)
+
+    def test_compare_arms(self):
+        reports = {
+            "good": evaluate_detailed(FixedModel(0), balanced_dataset(8, 2), 2),
+        }
+        summary = compare_arms(reports)
+        assert "good" in summary
+        assert 0.0 <= summary["good"]["accuracy"] <= 1.0
+
+    def test_nan_for_absent_classes(self):
+        labels = np.zeros(10, dtype=np.int64)  # only class 0 present
+        ds = nn.ArrayDataset(np.zeros((10, 1, 2, 2), dtype=np.float32), labels)
+        report = evaluate_detailed(FixedModel(0), ds, 4)
+        per_class = report.per_class_accuracy
+        assert per_class[0] == 1.0
+        assert np.isnan(per_class[3])

@@ -1,0 +1,51 @@
+"""Smoke tests: the non-training example scripts run end to end.
+
+The training walk-throughs (`sharing_and_training.py`,
+`stream_length_sweep.py`) take minutes and are exercised through the
+benchmark suite's equivalent harnesses instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CHEAP_EXAMPLES = [
+    ("quickstart.py", []),
+    ("progressive_generation.py", []),
+    ("accelerator_profile.py", ["--network", "cnn4", "--arch", "ulp"]),
+    ("accelerator_profile.py", ["--network", "lenet5", "--arch", "acoustic"]),
+    ("dataflow_explorer.py", ["--network", "vgg16", "--arch", "lp"]),
+    ("design_space.py", ["--budget", "0.7"]),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    CHEAP_EXAMPLES,
+    ids=[f"{s}-{'-'.join(a) or 'default'}" for s, a in CHEAP_EXAMPLES],
+)
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_all_steps():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    for marker in ("1. Deterministic", "2. AND multiply", "3. Bit-true",
+                   "4. Train"):
+        assert marker in result.stdout

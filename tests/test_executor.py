@@ -1,0 +1,139 @@
+"""Tests for the behavioral ISA executor, including agreement with the
+compiler's analytic cycle accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import GEO_ULP, STREAMS_32_64, compile_network
+from repro.arch.executor import Executor, execute_layer_program
+from repro.arch.isa import Instruction, Opcode
+from repro.errors import SimulationError
+from repro.models.shapes import cnn4_shapes, lenet5_shapes
+
+
+def run(program, arch=GEO_ULP):
+    return Executor(arch).run(program)
+
+
+class TestBasicExecution:
+    def test_gen_advances_cycles(self):
+        state = run([Instruction(Opcode.GEN, 256)])
+        assert state.cycle == 256
+        assert state.generation_cycles == 256
+
+    def test_ld_act_counts_stall(self):
+        state = run([Instruction(Opcode.LD_ACT, 10)])
+        assert state.act_lines_loaded == 10
+        assert state.stall_cycles == 10
+
+    def test_shadow_prefetch_is_free_on_timeline(self):
+        state = run(
+            [Instruction(Opcode.GEN, 64), Instruction(Opcode.LD_SHADOW, 8)]
+        )
+        assert state.cycle == 64  # prefetch overlapped
+        assert state.shadow_prefetches == 8
+
+    def test_nm_acc_two_cycles_per_vector(self):
+        state = run([Instruction(Opcode.NM_ACC, 5)])
+        assert state.cycle == 10
+        assert state.nm_vector_ops == 5
+
+    def test_pool_cfg_sets_window(self):
+        state = run([Instruction(Opcode.POOL_CFG, 4)])
+        assert state.pool_window == 4
+
+    def test_halt_blocks_further_instructions(self):
+        with pytest.raises(SimulationError):
+            run([Instruction(Opcode.HALT), Instruction(Opcode.NOP)])
+
+    def test_cycle_limit(self):
+        executor = Executor(GEO_ULP, max_cycles=100)
+        with pytest.raises(SimulationError):
+            executor.run([Instruction(Opcode.GEN, 200)])
+
+
+class TestLoopSemantics:
+    def test_loop_repeats_body(self):
+        program = [
+            Instruction(Opcode.GEN, 10),
+            Instruction(Opcode.LOOP, 1, 4),  # replay GEN 4 more times
+        ]
+        state = run(program)
+        assert state.generation_cycles == 50
+        assert state.cycle == 50
+
+    def test_loop_multi_instruction_body(self):
+        program = [
+            Instruction(Opcode.LD_ACT, 2),
+            Instruction(Opcode.GEN, 8),
+            Instruction(Opcode.LOOP, 2, 3),
+        ]
+        state = run(program)
+        assert state.act_lines_loaded == 8  # 4 iterations total
+        assert state.generation_cycles == 32
+
+    def test_loop_body_too_long_rejected(self):
+        with pytest.raises(SimulationError):
+            run([Instruction(Opcode.LOOP, 3, 2)])
+
+    def test_sequential_loops_replay_expanded_stream(self):
+        # Loops expand eagerly, so a later LOOP replays already-expanded
+        # instructions (never another LOOP): GEN -> 2 GENs -> 4 GENs.
+        program = [
+            Instruction(Opcode.GEN, 1),
+            Instruction(Opcode.LOOP, 1, 1),
+            Instruction(Opcode.LOOP, 2, 1),
+        ]
+        state = run(program)
+        assert state.generation_cycles == 4
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_loop_cycle_arithmetic_property(self, gen_cycles, repeats):
+        program = [
+            Instruction(Opcode.GEN, gen_cycles),
+            Instruction(Opcode.LOOP, 1, repeats),
+        ]
+        state = run(program)
+        assert state.cycle == gen_cycles * (repeats + 1)
+
+
+class TestCompilerAgreement:
+    @pytest.mark.parametrize("shapes", [cnn4_shapes(32), lenet5_shapes(28)])
+    def test_executed_generation_matches_analytic(self, shapes):
+        """Executing the compiled program reproduces the compiler's
+        generation-cycle count for every layer (the LOOP encoding holds
+        min(passes, 512) iterations; larger layers are capped by the
+        9-bit repeat field, so we compare per-iteration work)."""
+        programs = compile_network(shapes, GEO_ULP, STREAMS_32_64)
+        for program in programs:
+            state = execute_layer_program(program, GEO_ULP)
+            executed_passes = min(program.mapping.passes, 512)
+            assert (
+                state.generation_cycles
+                == executed_passes * program.gen_cycles_per_pass
+            )
+
+    def test_trace_is_contiguous(self):
+        programs = compile_network(cnn4_shapes(32), GEO_ULP, STREAMS_32_64)
+        state = execute_layer_program(programs[0], GEO_ULP)
+        cursor = 0
+        for event in state.trace:
+            # Shadow prefetches rewind the timeline (overlap), otherwise
+            # events tile the timeline contiguously.
+            if event.instruction.opcode is Opcode.LD_SHADOW:
+                cursor -= event.cycles
+            assert event.start_cycle == cursor
+            cursor += event.cycles
+        assert cursor == state.cycle
+
+    def test_weight_lines_match_compiler(self):
+        programs = compile_network(cnn4_shapes(32), GEO_ULP, STREAMS_32_64)
+        for program in programs:
+            state = execute_layer_program(program, GEO_ULP)
+            expected = min(program.weight_load_cycles, 511 * 8)
+            assert state.weight_lines_loaded == expected

@@ -1,0 +1,68 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+from repro.experiments.export import (
+    export_fig1,
+    export_fig2,
+    export_fig5,
+    export_fig6,
+    export_table1,
+)
+from repro.experiments.fig1_sharing import Fig1Result
+from repro.experiments.fig2_progressive import Fig2Result
+from repro.experiments.fig5_area import run_fig5
+from repro.experiments.fig6_breakdown import run_fig6
+from repro.experiments.table1_accuracy import Table1Result
+from repro.sc.progressive import multiplication_error_curve
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestExports:
+    def test_fig1_csv(self, tmp_path):
+        result = Fig1Result()
+        result.accuracy[("lfsr", "moderate", 32)] = 0.8
+        result.mismatch_accuracy[("moderate", 32)] = 0.2
+        path = export_fig1(result, tmp_path)
+        rows = read_csv(path)
+        assert rows[0] == ["rng", "sharing", "stream_length", "accuracy"]
+        assert len(rows) == 3
+
+    def test_fig2_csv(self, tmp_path):
+        result = Fig2Result()
+        result.curves[32] = multiplication_error_curve(
+            num_pairs=64, stream_length=32, lfsr_bits=5
+        )
+        path = export_fig2(result, tmp_path)
+        rows = read_csv(path)
+        assert len(rows) == 1 + 32  # header + one row per cycle
+
+    def test_fig5_csv(self, tmp_path):
+        path = export_fig5(run_fig5(), tmp_path)
+        rows = read_csv(path)
+        assert rows[0][0] == "kernel"
+        assert len(rows) > 20  # 12 kernels x 5 modes + header
+
+    def test_fig6_csv(self, tmp_path):
+        path = export_fig6(run_fig6(), tmp_path)
+        rows = read_csv(path)
+        configs = {row[0] for row in rows[1:]}
+        assert "Base-128,128" in configs
+        assert "GEO-GEN-EXEC-32,64" in configs
+
+    def test_table1_csv(self, tmp_path):
+        result = Table1Result()
+        result.accuracy[("svhn", "cnn4", "geo-32-64")] = 0.9
+        path = export_table1(result, tmp_path)
+        rows = read_csv(path)
+        assert rows[1] == ["svhn", "cnn4", "geo-32-64", "0.9"]
+
+    def test_creates_directories(self, tmp_path):
+        result = Table1Result()
+        result.accuracy[("svhn", "cnn4", "x")] = 0.5
+        path = export_table1(result, tmp_path / "deep" / "dir")
+        assert path.exists()

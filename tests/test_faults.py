@@ -1,0 +1,142 @@
+"""Tests for fault injection and the SC error-tolerance premise, plus the
+bipolar XNOR multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sc.faults import (
+    fixed_point_value_error,
+    graceful_degradation_ratio,
+    inject_bit_flips,
+    inject_stuck_at,
+    stream_value_error,
+)
+from repro.sc.formats import bipolar_encode, quantize_unipolar
+from repro.sc.ops import xnor_multiply
+from repro.sc.rng import LFSRSource
+from repro.sc.sng import SNG
+from repro.sc.streams import StreamBatch
+
+
+def random_stream(shape=(8,), length=256, density=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    bits = (rng.random(shape + (length,)) < density).astype(np.uint8)
+    return StreamBatch.from_bits(bits)
+
+
+class TestInjectBitFlips:
+    def test_zero_rate_is_identity(self):
+        stream = random_stream()
+        out = inject_bit_flips(stream, 0.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(out.packed, stream.packed)
+
+    def test_full_rate_inverts(self):
+        stream = random_stream()
+        out = inject_bit_flips(stream, 1.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(out.bits(), 1 - stream.bits())
+
+    def test_rate_controls_flip_count(self):
+        stream = random_stream(shape=(32,), length=1024)
+        out = inject_bit_flips(stream, 0.1, np.random.default_rng(1))
+        flipped = (out.bits() != stream.bits()).mean()
+        assert 0.07 < flipped < 0.13
+
+    def test_tail_stays_clean(self):
+        stream = random_stream(shape=(4,), length=10)
+        out = inject_bit_flips(stream, 1.0, np.random.default_rng(2))
+        assert out.counts().max() <= 10
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            inject_bit_flips(random_stream(), 1.5, np.random.default_rng(0))
+
+
+class TestStuckAt:
+    def test_stuck_at_one_only_raises_counts(self):
+        stream = random_stream(seed=3)
+        out = inject_stuck_at(stream, 0.2, 1, np.random.default_rng(3))
+        assert np.all(out.counts() >= stream.counts())
+
+    def test_stuck_at_zero_only_lowers_counts(self):
+        stream = random_stream(seed=4)
+        out = inject_stuck_at(stream, 0.2, 0, np.random.default_rng(4))
+        assert np.all(out.counts() <= stream.counts())
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            inject_stuck_at(random_stream(), 0.1, 2, np.random.default_rng(0))
+
+
+class TestErrorTolerance:
+    def test_stream_error_linear_in_rate(self):
+        values = np.linspace(0, 1, 64)
+        e1 = stream_value_error(values, 256, 0.01)
+        e2 = stream_value_error(values, 256, 0.04)
+        assert e2 > 2 * e1  # roughly 4X, allow slack
+        assert e2 < 8 * e1
+
+    def test_stream_error_bounded_by_rate(self):
+        # Expected error is p * |1 - 2q| <= p.
+        values = np.random.default_rng(0).uniform(0, 1, 128)
+        err = stream_value_error(values, 512, 0.05, seed=1)
+        assert err < 0.05 + 0.02
+
+    def test_fixed_point_error_dominated_by_msb(self):
+        values = np.random.default_rng(1).uniform(0, 1, 256)
+        err = fixed_point_value_error(values, 0.05, bits=8, seed=2)
+        # Each bit flips w.p. 0.05; expected error ~ 0.05 * sum(2^b)/255/8
+        # per word ~ 0.05 * 0.5: far above the stream error at equal rate.
+        assert err > 0.02
+
+    def test_sc_degrades_more_gracefully(self):
+        # The paper's error-tolerance premise, quantified. Expected
+        # ratio ~2 (SC error p*E|1-2q| ~ 0.5p vs fixed point ~p).
+        ratio = graceful_degradation_ratio(
+            flip_rate=0.05, num_values=1024, seed=0
+        )
+        assert ratio > 1.3
+
+    @given(st.floats(min_value=0.02, max_value=0.1))
+    @settings(max_examples=10, deadline=None)
+    def test_graceful_ratio_above_one_property(self, rate):
+        # At moderate rates (enough flips to average out sampling noise),
+        # SC always degrades at least as gracefully as fixed point.
+        assert graceful_degradation_ratio(
+            flip_rate=rate, num_values=512, seed=3
+        ) > 1.0
+
+
+class TestXnorMultiply:
+    def test_bipolar_product(self):
+        # Encode two bipolar values, multiply with XNOR, decode.
+        sng = SNG(LFSRSource(7), 7)
+        x, y = 0.5, -0.6
+        px = quantize_unipolar(bipolar_encode(np.array([x])), 7)
+        py = quantize_unipolar(bipolar_encode(np.array([y])), 7)
+        sa = sng.generate(px, np.array([3]), 2048)
+        sb = sng.generate(py, np.array([77]), 2048)
+        product = xnor_multiply(sa, sb)
+        decoded = 2 * float(product.mean()[0]) - 1
+        assert decoded == pytest.approx(x * y, abs=0.08)
+
+    def test_xnor_of_identical_streams_is_all_ones(self):
+        stream = random_stream(seed=5)
+        out = xnor_multiply(stream, stream)
+        assert np.all(out.counts() == stream.length)
+
+    @given(
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.floats(min_value=-1.0, max_value=1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bipolar_product_property(self, x, y):
+        sng = SNG(LFSRSource(7), 7)
+        px = quantize_unipolar(bipolar_encode(np.array([x])), 7)
+        py = quantize_unipolar(bipolar_encode(np.array([y])), 7)
+        sa = sng.generate(px, np.array([9]), 4096)
+        sb = sng.generate(py, np.array([101]), 4096)
+        decoded = 2 * float(xnor_multiply(sa, sb).mean()[0]) - 1
+        assert decoded == pytest.approx(x * y, abs=0.12)

@@ -1,0 +1,92 @@
+"""Tests for stochastic number formats and quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, StreamLengthError
+from repro.sc.formats import (
+    bipolar_decode,
+    bipolar_encode,
+    dequantize_unipolar,
+    merge_unipolar,
+    quantize_unipolar,
+    split_unipolar,
+    stream_bits,
+)
+
+
+class TestStreamBits:
+    def test_powers_of_two(self):
+        assert stream_bits(32) == 5
+        assert stream_bits(128) == 7
+        assert stream_bits(256) == 8
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 24, 100])
+    def test_non_powers_rejected(self, bad):
+        with pytest.raises(StreamLengthError):
+            stream_bits(bad)
+
+
+class TestQuantize:
+    def test_endpoints(self):
+        assert quantize_unipolar(np.array(0.0), 8) == 0
+        assert quantize_unipolar(np.array(1.0), 8) == 255
+
+    def test_clipping(self):
+        q = quantize_unipolar(np.array([-0.5, 1.5]), 4)
+        np.testing.assert_array_equal(q, [0, 15])
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize_unipolar(np.array(0.5), 0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bounded(self, value, bits):
+        q = quantize_unipolar(np.array(value), bits)
+        back = dequantize_unipolar(q, bits)
+        assert abs(back - value) <= 0.5 / ((1 << bits) - 1) + 1e-12
+
+
+class TestSplitUnipolar:
+    def test_positive_and_negative(self):
+        s = split_unipolar(np.array([0.5, -0.25, 0.0]))
+        np.testing.assert_allclose(s.pos, [0.5, 0.0, 0.0])
+        np.testing.assert_allclose(s.neg, [0.0, 0.25, 0.0])
+        np.testing.assert_allclose(s.value(), [0.5, -0.25, 0.0])
+
+    def test_at_most_one_channel_nonzero(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=100)
+        s = split_unipolar(x)
+        assert np.all((s.pos == 0) | (s.neg == 0))
+
+    def test_clipping(self):
+        s = split_unipolar(np.array([2.0, -3.0]))
+        np.testing.assert_allclose(s.value(), [1.0, -1.0])
+
+    def test_merge(self):
+        np.testing.assert_allclose(
+            merge_unipolar(np.array([0.7]), np.array([0.2])), [0.5]
+        )
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_split_merge_roundtrip(self, x):
+        s = split_unipolar(np.array(x))
+        assert abs(float(s.value()) - x) < 1e-12
+
+
+class TestBipolar:
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, x):
+        assert abs(float(bipolar_decode(bipolar_encode(np.array(x)))) - x) < 1e-12
+
+    def test_midpoint(self):
+        assert float(bipolar_encode(np.array(0.0))) == 0.5

@@ -1,0 +1,233 @@
+"""Gradient and semantics tests for NN functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.test_tensor import numeric_grad
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=np.float32).reshape(2, 3, 5, 5)
+        cols = F.im2col(x, 3, 3, 1, 0)
+        assert cols.shape == (2, 3, 3, 3, 3, 3)
+
+    def test_window_contents(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols = F.im2col(x, 2, 2, 1, 0)
+        np.testing.assert_allclose(cols[0, 0, :, :, 0, 0], [[0, 1], [4, 5]])
+        np.testing.assert_allclose(cols[0, 0, :, :, 2, 2], [[10, 11], [14, 15]])
+
+    def test_stride_and_padding(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        cols = F.im2col(x, 3, 3, 2, 1)
+        assert cols.shape == (1, 1, 3, 3, 2, 2)
+        # Corner window includes padded zeros.
+        assert cols[0, 0, 0, 0, 0, 0] == 0.0
+
+    def test_col2im_inverts_counts(self):
+        # col2im(im2col(x)) multiplies each pixel by its window coverage.
+        x = np.random.default_rng(0).normal(size=(1, 2, 4, 4)).astype(np.float32)
+        cols = F.im2col(x, 2, 2, 2, 0)  # non-overlapping windows
+        back = F.col2im(cols, x.shape, 2, 0)
+        np.testing.assert_allclose(back, x, rtol=1e-6)
+
+    def test_output_size_validation(self):
+        with pytest.raises(ShapeError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestConv2d:
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=1).data
+        assert out.shape == (2, 4, 6, 6)
+        # Check one output element by direct summation.
+        patch = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))[0, :, 0:3, 0:3]
+        expected = (patch * w[1]).sum()
+        assert out[0, 1, 0, 0] == pytest.approx(expected, rel=1e-4)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            F.conv2d(
+                Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((3, 5, 3, 3)))
+            )
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        w0 = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+
+        def loss_for(wdata):
+            return float(
+                (F.conv2d(Tensor(x), Tensor(wdata), padding=1).data ** 2).sum()
+            )
+
+        w = Tensor(w0, requires_grad=True)
+        out = F.conv2d(Tensor(x), w, padding=1)
+        (out * out).sum().backward()
+        expected = numeric_grad(loss_for, w0.copy(), eps=1e-2)
+        np.testing.assert_allclose(w.grad, expected, rtol=0.05, atol=0.3)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(3)
+        x0 = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        w = rng.normal(size=(2, 2, 3, 3)).astype(np.float32)
+
+        def loss_for(xdata):
+            return float(
+                (F.conv2d(Tensor(xdata), Tensor(w), stride=1, padding=0).data ** 2).sum()
+            )
+
+        x = Tensor(x0, requires_grad=True)
+        out = F.conv2d(x, Tensor(w))
+        (out * out).sum().backward()
+        expected = numeric_grad(loss_for, x0.copy(), eps=1e-2)
+        np.testing.assert_allclose(x.grad, expected, rtol=0.05, atol=0.3)
+
+    def test_bias_gradient(self):
+        x = np.ones((2, 1, 3, 3), dtype=np.float32)
+        w = np.zeros((2, 1, 1, 1), dtype=np.float32)
+        b = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        out = F.conv2d(Tensor(x), Tensor(w), bias=b)
+        out.sum().backward()
+        np.testing.assert_allclose(b.grad, [18.0, 18.0])
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradient_uniform(self):
+        x = Tensor(np.random.default_rng(4).normal(size=(1, 1, 4, 4)), requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_max_pool_values_and_gradient(self):
+        x0 = np.array(
+            [[[[1, 2, 0, 0], [3, 4, 0, 0], [0, 0, 5, 6], [0, 0, 7, 9]]]],
+            dtype=np.float32,
+        )
+        x = Tensor(x0, requires_grad=True)
+        out = F.max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[4, 0], [0, 9]])
+        out.sum().backward()
+        assert x.grad[0, 0, 1, 1] == 1.0
+        assert x.grad[0, 0, 3, 3] == 1.0
+        assert x.grad.sum() == 4.0
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)).astype(np.float32)
+        gamma = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        rm = np.zeros(4, dtype=np.float32)
+        rv = np.ones(4, dtype=np.float32)
+        out = F.batch_norm(Tensor(x), gamma, beta, rm, rv, training=True)
+        assert abs(out.data.mean()) < 1e-4
+        assert out.data.std() == pytest.approx(1.0, abs=0.01)
+
+    def test_running_stats_updated(self):
+        x = np.full((4, 2, 3, 3), 5.0, dtype=np.float32)
+        gamma = Tensor(np.ones(2, dtype=np.float32))
+        beta = Tensor(np.zeros(2, dtype=np.float32))
+        rm = np.zeros(2, dtype=np.float32)
+        rv = np.ones(2, dtype=np.float32)
+        F.batch_norm(Tensor(x), gamma, beta, rm, rv, training=True, momentum=0.5)
+        np.testing.assert_allclose(rm, [2.5, 2.5])
+
+    def test_eval_uses_running_stats(self):
+        x = np.zeros((2, 1, 2, 2), dtype=np.float32)
+        gamma = Tensor(np.ones(1, dtype=np.float32))
+        beta = Tensor(np.zeros(1, dtype=np.float32))
+        rm = np.array([1.0], dtype=np.float32)
+        rv = np.array([4.0], dtype=np.float32)
+        out = F.batch_norm(Tensor(x), gamma, beta, rm, rv, training=False)
+        np.testing.assert_allclose(out.data, -0.5, atol=1e-3)
+
+    def test_input_gradient_numeric(self):
+        rng = np.random.default_rng(6)
+        x0 = rng.normal(size=(4, 2, 3, 3)).astype(np.float32)
+        gamma = np.array([1.5, 0.5], dtype=np.float32)
+        beta = np.array([0.1, -0.2], dtype=np.float32)
+
+        def loss_for(xdata):
+            rm = np.zeros(2, dtype=np.float32)
+            rv = np.ones(2, dtype=np.float32)
+            out = F.batch_norm(
+                Tensor(xdata), Tensor(gamma), Tensor(beta), rm, rv, training=True
+            )
+            return float((out.data ** 2).sum())
+
+        x = Tensor(x0, requires_grad=True)
+        rm = np.zeros(2, dtype=np.float32)
+        rv = np.ones(2, dtype=np.float32)
+        out = F.batch_norm(
+            x, Tensor(gamma), Tensor(beta), rm, rv, training=True
+        )
+        (out * out).sum().backward()
+        expected = numeric_grad(loss_for, x0.copy(), eps=1e-2)
+        np.testing.assert_allclose(x.grad, expected, atol=0.05)
+
+    def test_2d_input(self):
+        x = np.random.default_rng(7).normal(size=(8, 3)).astype(np.float32)
+        gamma = Tensor(np.ones(3, dtype=np.float32))
+        beta = Tensor(np.zeros(3, dtype=np.float32))
+        out = F.batch_norm(
+            Tensor(x), gamma, beta, np.zeros(3, np.float32), np.ones(3, np.float32), True
+        )
+        assert out.shape == (8, 3)
+
+    def test_bad_ndim_rejected(self):
+        with pytest.raises(ShapeError):
+            F.batch_norm(
+                Tensor(np.zeros((2, 3, 4))),
+                Tensor(np.ones(3)),
+                Tensor(np.zeros(3)),
+                np.zeros(3, np.float32),
+                np.ones(3, np.float32),
+                True,
+            )
+
+
+class TestLoss:
+    def test_cross_entropy_value(self):
+        logits = Tensor(np.log(np.array([[0.7, 0.2, 0.1]], dtype=np.float32)))
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert float(loss.data) == pytest.approx(-np.log(0.7), rel=1e-4)
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(8)
+        logits0 = rng.normal(size=(4, 5)).astype(np.float32)
+        labels = np.array([0, 2, 4, 1])
+
+        def loss_for(data):
+            return float(F.cross_entropy(Tensor(data), labels).data)
+
+        logits = Tensor(logits0, requires_grad=True)
+        F.cross_entropy(logits, labels).backward()
+        expected = numeric_grad(loss_for, logits0.copy(), eps=1e-2)
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-3)
+
+    def test_label_shape_validated(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(9).normal(size=(3, 4)))
+        probs = F.softmax(x).data
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 2.0], [5.0, 0.0]])
+        assert F.accuracy(logits, np.array([1, 0])) == 1.0
+        assert F.accuracy(logits, np.array([0, 0])) == 0.5

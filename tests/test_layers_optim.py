@@ -1,0 +1,288 @@
+"""Tests for the module system, optimizers, data loading, quantization —
+including an end-to-end learning test on a toy problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def make_mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(4, 16, rng=rng),
+        nn.ReLU(),
+        nn.Linear(16, 3, rng=rng),
+    )
+
+
+class TestModuleSystem:
+    def test_parameters_recursive(self):
+        model = make_mlp()
+        params = list(model.parameters())
+        assert len(params) == 4  # two weights + two biases
+        assert model.num_parameters() == 4 * 16 + 16 + 16 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3), nn.BatchNorm2d(2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = make_mlp()
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        model(x).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self):
+        a = make_mlp(seed=1)
+        b = make_mlp(seed=2)
+        state = a.state_dict()
+        b.load_state_dict(state)
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_includes_bn_buffers(self):
+        bn = nn.BatchNorm2d(3)
+        bn.running_mean[:] = 7.0
+        state = bn.state_dict()
+        assert "running_mean" in state
+        np.testing.assert_allclose(state["running_mean"], 7.0)
+
+    def test_load_shape_mismatch_rejected(self):
+        a = nn.Linear(4, 2)
+        with pytest.raises(ConfigurationError):
+            a.load_state_dict({"weight": np.zeros((3, 3), dtype=np.float32)})
+
+    def test_sequential_indexing(self):
+        model = make_mlp()
+        assert len(model) == 3
+        assert isinstance(model[0], nn.Linear)
+        assert isinstance(list(iter(model))[1], nn.ReLU)
+
+
+class TestConvLinearLayers:
+    def test_conv_output_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_linear_output_shape(self):
+        fc = nn.Linear(10, 5)
+        out = fc(Tensor(np.zeros((3, 10))))
+        assert out.shape == (3, 5)
+
+    def test_flatten(self):
+        out = nn.Flatten()(Tensor(np.zeros((2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+
+    def test_no_bias_option(self):
+        conv = nn.Conv2d(1, 1, 3, bias=False)
+        assert conv.bias is None
+        assert len(list(conv.parameters())) == 1
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        p = Tensor(np.array([5.0], dtype=np.float32), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data.item()) < 0.01
+
+    def test_sgd_momentum_faster_than_plain(self):
+        def run(momentum):
+            p = Tensor(np.array([5.0], dtype=np.float32), requires_grad=True)
+            opt = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+            return abs(p.data.item())
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_descends(self):
+        p = Tensor(np.array([3.0, -4.0], dtype=np.float32), requires_grad=True)
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 0.05
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data.item() == pytest.approx(0.9)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nn.SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ConfigurationError):
+            nn.Adam([p], lr=0.0)
+
+    def test_step_lr_schedule(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+
+class TestDataLoader:
+    def make_dataset(self, n=10):
+        return nn.ArrayDataset(
+            np.arange(n, dtype=np.float32).reshape(n, 1), np.arange(n)
+        )
+
+    def test_batch_count(self):
+        loader = nn.DataLoader(self.make_dataset(10), batch_size=3, shuffle=False)
+        assert len(loader) == 4
+        batches = list(loader)
+        assert batches[0][0].shape == (3, 1)
+        assert batches[-1][0].shape == (1, 1)
+
+    def test_drop_last(self):
+        loader = nn.DataLoader(
+            self.make_dataset(10), batch_size=3, shuffle=False, drop_last=True
+        )
+        assert len(loader) == 3
+        assert all(x.shape[0] == 3 for x, _ in loader)
+
+    def test_shuffle_is_seeded(self):
+        a = list(nn.DataLoader(self.make_dataset(), 4, seed=1))
+        b = list(nn.DataLoader(self.make_dataset(), 4, seed=1))
+        for (xa, _), (xb, _) in zip(a, b):
+            np.testing.assert_array_equal(xa, xb)
+
+    def test_epochs_reshuffle(self):
+        loader = nn.DataLoader(self.make_dataset(), 10, seed=1)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ShapeError):
+            nn.ArrayDataset(np.zeros((3, 1)), np.zeros(4))
+
+    def test_subset(self):
+        ds = self.make_dataset(10).subset(4)
+        assert len(ds) == 4
+
+
+class TestQuantization:
+    def test_symmetric_roundtrip_range(self):
+        values = np.linspace(-1, 1, 101)
+        q8 = nn.quant.quantize_symmetric(values, 8)
+        assert np.abs(q8 - values).max() < 1.0 / 127
+        q4 = nn.quant.quantize_symmetric(values, 4)
+        assert np.abs(q4 - values).max() < 1.0 / 7
+
+    def test_lower_bits_coarser(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        err8 = np.abs(nn.quant.quantize_symmetric(values, 8) - values).mean()
+        err4 = np.abs(nn.quant.quantize_symmetric(values, 4) - values).mean()
+        assert err4 > err8
+
+    def test_zero_input(self):
+        np.testing.assert_array_equal(
+            nn.quant.quantize_symmetric(np.zeros(5), 8), np.zeros(5)
+        )
+
+    def test_min_bits_validated(self):
+        with pytest.raises(ConfigurationError):
+            nn.quant.quantize_symmetric(np.ones(2), 1)
+
+    def test_fake_quantize_straight_through(self):
+        x = Tensor(np.array([0.3, -0.7], dtype=np.float32), requires_grad=True)
+        out = nn.quant.fake_quantize(x, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_quantized_conv_runs(self):
+        conv = nn.quant.QuantizedConv2d(1, 2, 3, bits=4)
+        out = conv(Tensor(np.random.default_rng(0).normal(size=(1, 1, 5, 5))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_quantize_module_weights_in_place(self):
+        fc = nn.Linear(4, 4)
+        before = fc.weight.data.copy()
+        nn.quant.quantize_module_weights(fc, 2)
+        assert not np.allclose(fc.weight.data, before)
+        assert len(np.unique(fc.weight.data)) <= 4
+
+
+class TestEndToEndLearning:
+    def test_mlp_learns_blobs(self):
+        # Three well-separated Gaussian blobs: the MLP must reach ~100%.
+        rng = np.random.default_rng(0)
+        centers = np.array(
+            [[2, 0, 0, 0], [0, 2, 0, 0], [0, 0, 2, 0]], dtype=np.float32
+        )
+        n_per = 30
+        xs = np.concatenate(
+            [c + 0.3 * rng.normal(size=(n_per, 4)) for c in centers]
+        ).astype(np.float32)
+        ys = np.repeat(np.arange(3), n_per)
+
+        model = make_mlp(seed=3)
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        loader = nn.DataLoader(nn.ArrayDataset(xs, ys), batch_size=16, seed=0)
+        for _ in range(30):
+            for bx, by in loader:
+                opt.zero_grad()
+                loss = F.cross_entropy(model(Tensor(bx)), by)
+                loss.backward()
+                opt.step()
+        acc = F.accuracy(model(Tensor(xs)), ys)
+        assert acc > 0.95
+
+    def test_small_cnn_learns(self):
+        # Tiny CNN distinguishing horizontal vs vertical bar images.
+        rng = np.random.default_rng(1)
+        n = 60
+        xs = np.zeros((n, 1, 8, 8), dtype=np.float32)
+        ys = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            pos = rng.integers(1, 7)
+            if i % 2 == 0:
+                xs[i, 0, pos, :] = 1.0
+            else:
+                xs[i, 0, :, pos] = 1.0
+                ys[i] = 1
+        xs += 0.05 * rng.normal(size=xs.shape).astype(np.float32)
+
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.AvgPool2d(2),
+            nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 2, rng=rng),
+        )
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        loader = nn.DataLoader(nn.ArrayDataset(xs, ys), batch_size=20, seed=0)
+        for _ in range(25):
+            for bx, by in loader:
+                opt.zero_grad()
+                F.cross_entropy(model(Tensor(bx)), by).backward()
+                opt.step()
+        assert F.accuracy(model(Tensor(xs)), ys) > 0.9

@@ -1,0 +1,155 @@
+"""Tests for stochastic arithmetic primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.sc.formats import quantize_unipolar
+from repro.sc.ops import (
+    and_multiply,
+    apc_accumulate,
+    expected_or,
+    mux_accumulate,
+    or_accumulate,
+    parallel_count,
+    saturating_or_sum,
+)
+from repro.sc.rng import LFSRSource
+from repro.sc.sng import SNG
+from repro.sc.streams import StreamBatch
+
+
+def gen_streams(values, seeds, length=128, bits=7):
+    sng = SNG(LFSRSource(bits), bits)
+    q = quantize_unipolar(np.asarray(values), bits)
+    return sng.generate(q, np.asarray(seeds), length)
+
+
+class TestAndMultiply:
+    def test_independent_product(self):
+        a = gen_streams([0.5], [1], length=1024, bits=7)
+        b = gen_streams([0.5], [77], length=1024, bits=7)
+        prod = and_multiply(a, b).mean()[0]
+        assert float(prod) == pytest.approx(0.25, abs=0.05)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_product_accuracy_property(self, x, y):
+        a = gen_streams([x], [3], length=2048, bits=7)
+        b = gen_streams([y], [90], length=2048, bits=7)
+        prod = float(and_multiply(a, b).mean()[0])
+        assert prod == pytest.approx(x * y, abs=0.08)
+
+
+class TestOrAccumulate:
+    def test_sparse_inputs_near_sum(self):
+        # With small probabilities, OR ~ sum (low saturation error).
+        values = [0.05, 0.08, 0.02, 0.06]
+        streams = gen_streams(values, [1, 50, 99, 120], length=4096)
+        acc = float(or_accumulate(streams, axis=0).mean()[()])
+        assert acc == pytest.approx(sum(values), abs=0.04)
+
+    def test_dense_inputs_saturate(self):
+        # With large probabilities OR saturates well below the true sum —
+        # the accuracy loss partial binary accumulation fixes.
+        values = [0.8, 0.9, 0.7]
+        streams = gen_streams(values, [1, 50, 99], length=4096)
+        acc = float(or_accumulate(streams, axis=0).mean()[()])
+        assert acc < 1.0 < sum(values)
+        assert acc == pytest.approx(
+            float(expected_or(np.array(values))), abs=0.05
+        )
+
+    def test_expected_or_formula(self):
+        p = np.array([0.5, 0.5])
+        assert float(expected_or(p)) == pytest.approx(0.75)
+
+    def test_saturating_bound(self):
+        p = np.array([0.4, 0.5, 0.6])
+        assert float(saturating_or_sum(p)) == 1.0
+        assert float(saturating_or_sum(np.array([0.1, 0.2]))) == pytest.approx(0.3)
+
+    def test_expected_or_dominates_simulation(self):
+        # E[OR] <= min(sum, 1) always.
+        rng = np.random.default_rng(0)
+        p = rng.random((20, 5))
+        assert np.all(expected_or(p, axis=1) <= saturating_or_sum(p, axis=1) + 1e-12)
+
+
+class TestMux:
+    def test_mux_scaled_addition(self):
+        values = [0.2, 0.6]
+        streams = gen_streams(values, [1, 50], length=1024)
+        rng = np.random.default_rng(0)
+        select = rng.integers(0, 2, size=1024)
+        out = float(mux_accumulate(streams, select, axis=0).mean()[()])
+        assert out == pytest.approx(0.4, abs=0.06)  # (0.2 + 0.6) / 2
+
+    def test_select_shape_validated(self):
+        streams = gen_streams([0.2, 0.6], [1, 50], length=64)
+        with pytest.raises(ShapeError):
+            mux_accumulate(streams, np.zeros(32, dtype=int), axis=0)
+
+    def test_select_range_validated(self):
+        streams = gen_streams([0.2, 0.6], [1, 50], length=64)
+        with pytest.raises(ShapeError):
+            mux_accumulate(streams, np.full(64, 5), axis=0)
+
+
+class TestParallelCount:
+    def test_exact_sum(self):
+        bits = np.array(
+            [[1, 0, 1, 0], [1, 1, 0, 0], [0, 0, 0, 1]], dtype=np.uint8
+        )
+        batch = StreamBatch.from_bits(bits)
+        assert parallel_count(batch, axis=0) == 5
+
+    def test_matches_popcount_sum(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(6, 3, 200), dtype=np.uint8)
+        batch = StreamBatch.from_bits(bits)
+        np.testing.assert_array_equal(
+            parallel_count(batch, axis=0), bits.sum(axis=(0, 2))
+        )
+
+
+class TestAPC:
+    def test_apc_underestimates_dense(self):
+        # APC drops pairwise AND carries, so it undercounts dense inputs.
+        bits = np.ones((4, 1, 64), dtype=np.uint8)
+        batch = StreamBatch.from_bits(bits)
+        exact = parallel_count(batch, axis=0)
+        approx = apc_accumulate(batch, axis=0)
+        assert approx[0] == 2 * 64  # two OR pairs, each always 1
+        assert exact[0] == 4 * 64
+
+    def test_apc_exact_for_disjoint(self):
+        # When paired streams never overlap, OR loses nothing.
+        bits = np.zeros((2, 1, 8), dtype=np.uint8)
+        bits[0, 0, :4] = 1
+        bits[1, 0, 4:] = 1
+        batch = StreamBatch.from_bits(bits)
+        assert apc_accumulate(batch, axis=0)[0] == 8
+
+    def test_apc_odd_input_count(self):
+        bits = np.ones((3, 1, 10), dtype=np.uint8)
+        batch = StreamBatch.from_bits(bits)
+        # One OR pair (10) + passthrough third input (10).
+        assert apc_accumulate(batch, axis=0)[0] == 20
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_apc_bounded_by_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(5, 2, 64), dtype=np.uint8)
+        batch = StreamBatch.from_bits(bits)
+        approx = apc_accumulate(batch, axis=0)
+        exact = parallel_count(batch, axis=0)
+        assert np.all(approx <= exact)
+        # APC keeps at least the OR of each pair: >= ceil(exact / 2).
+        assert np.all(approx >= (exact + 1) // 2)

@@ -1,0 +1,84 @@
+"""Tests for progressive-generation error analysis (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sc.progressive import (
+    multiplication_error_curve,
+    progressive_settling_cycles,
+)
+
+
+class TestSettlingCycles:
+    def test_default_schedule_7bit(self):
+        # 7-bit buffer, 2 bits up front, 2 bits per 2 cycles: 3 groups
+        # remain (5 bits, ceil(5/2)=3), 6 cycles.
+        assert progressive_settling_cycles(7) == 6
+
+    def test_default_schedule_8bit(self):
+        assert progressive_settling_cycles(8) == 6
+
+    def test_paper_bound(self):
+        # "Progressive loading introduces error in at most 8 cycles when
+        # using 7-bit lfsr and 128-bit streams."
+        assert progressive_settling_cycles(7) <= 8
+
+
+class TestErrorCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return multiplication_error_curve(
+            num_pairs=512, lfsr_bits=7, stream_length=128, seed=1
+        )
+
+    def test_curve_shapes(self, curve):
+        assert curve.cycles.shape == (128,)
+        assert curve.rms_normal.shape == (128,)
+        assert curve.rms_progressive.shape == (128,)
+
+    def test_error_decreases_with_cycles(self, curve):
+        # RMS error at the full stream must be far below the early-cycle
+        # error for both schemes.
+        assert curve.rms_normal[-1] < curve.rms_normal[4] / 2
+        assert curve.rms_progressive[-1] < curve.rms_progressive[4] / 2
+
+    def test_progressive_converges_to_normal(self, curve):
+        # After settling, the two schemes track each other closely —
+        # Fig. 2's "progressive loading does not hurt multiplication
+        # accuracy".
+        assert curve.settled_gap(from_cycle=32) < 0.02
+
+    def test_final_rms_small(self, curve):
+        assert curve.rms_normal[-1] < 0.03
+        assert curve.rms_progressive[-1] < 0.03
+
+    def test_progressive_biased_low_during_ramp(self):
+        # The progressive buffer holds a zero-padded truncation of the
+        # target, so with the same RNG each progressive bit is <= the
+        # normal bit: counts can only lag, never lead.
+        import numpy as np
+
+        from repro.sc.formats import quantize_unipolar
+        from repro.sc.rng import LFSRSource
+        from repro.sc.sng import SNG, ProgressiveSNG
+
+        src = LFSRSource(7)
+        q = quantize_unipolar(np.linspace(0, 1, 32), 7)
+        seeds = np.arange(32)
+        nb = SNG(src, 7).generate(q, seeds, 64).bits()
+        pb = ProgressiveSNG(src, 7).generate(q, seeds, 64).bits()
+        assert np.all(pb <= nb)
+        assert np.all(
+            np.cumsum(pb, axis=-1) <= np.cumsum(nb, axis=-1)
+        )
+
+    def test_invalid_pairs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            multiplication_error_curve(num_pairs=0)
+
+    def test_reproducible(self):
+        a = multiplication_error_curve(num_pairs=64, seed=9)
+        b = multiplication_error_curve(num_pairs=64, seed=9)
+        np.testing.assert_array_equal(a.rms_normal, b.rms_normal)
+        np.testing.assert_array_equal(a.rms_progressive, b.rms_progressive)

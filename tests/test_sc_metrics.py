@@ -1,0 +1,140 @@
+"""Tests for stream-quality metrics and correlation-aware SC operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.sc.formats import quantize_unipolar
+from repro.sc.metrics import (
+    autocorrelation,
+    correlated_max,
+    correlated_min,
+    estimation_rmse,
+    max_pool_streams,
+    run_length_histogram,
+)
+from repro.sc.rng import LFSRSource, TRNGSource
+from repro.sc.sng import SNG
+from repro.sc.streams import StreamBatch
+
+
+class TestEstimationRMSE:
+    def test_lfsr_full_period_near_exact(self):
+        # At the full period an n-bit maximal LFSR counts exactly q ones.
+        rmse = estimation_rmse(LFSRSource(7), 7, 127)
+        assert rmse < 1e-9
+
+    def test_lfsr_beats_trng_at_matched_length(self):
+        lfsr = estimation_rmse(LFSRSource(7), 7, 128)
+        trng = estimation_rmse(TRNGSource(7, root_seed=0), 7, 128)
+        assert lfsr < trng
+
+    def test_trng_error_near_binomial(self):
+        trng = estimation_rmse(TRNGSource(7, root_seed=1), 7, 128)
+        # Average binomial std over p in [0,1] at L=128 is ~0.036.
+        assert 0.01 < trng < 0.08
+
+    def test_longer_streams_reduce_trng_error(self):
+        short = estimation_rmse(TRNGSource(7, root_seed=2), 7, 32)
+        long_ = estimation_rmse(TRNGSource(7, root_seed=2), 7, 512)
+        assert long_ < short
+
+
+class TestAutocorrelation:
+    def test_constant_stream_zero(self):
+        stream = StreamBatch.from_bits(np.ones((1, 64), dtype=np.uint8))
+        ac = autocorrelation(stream, max_lag=4)
+        np.testing.assert_allclose(ac, 0.0)
+
+    def test_alternating_stream_strongly_negative_at_lag1(self):
+        bits = np.tile([1, 0], 32)[None, :]
+        stream = StreamBatch.from_bits(bits.astype(np.uint8))
+        ac = autocorrelation(stream, max_lag=2)
+        assert ac[0, 0] < -0.9
+        assert ac[0, 1] > 0.9
+
+    def test_random_stream_small(self):
+        rng = np.random.default_rng(0)
+        stream = StreamBatch.from_bits(
+            rng.integers(0, 2, size=(8, 1024), dtype=np.uint8)
+        )
+        ac = autocorrelation(stream, max_lag=8)
+        assert np.abs(ac).mean() < 0.1
+
+    def test_lag_bound_validated(self):
+        stream = StreamBatch.from_bits(np.ones((1, 8), dtype=np.uint8))
+        with pytest.raises(ShapeError):
+            autocorrelation(stream, max_lag=8)
+
+
+class TestRunLengths:
+    def test_counts_simple_runs(self):
+        bits = np.array([[1, 1, 0, 1, 0, 0, 1, 1, 1]], dtype=np.uint8)
+        hist = run_length_histogram(StreamBatch.from_bits(bits), max_run=4)
+        assert hist[0, 0] == 1  # one run of length 1
+        assert hist[0, 1] == 1  # one run of length 2
+        assert hist[0, 2] == 1  # one run of length 3
+
+    def test_long_runs_clipped(self):
+        bits = np.ones((1, 20), dtype=np.uint8)
+        hist = run_length_histogram(StreamBatch.from_bits(bits), max_run=4)
+        assert hist[0, 3] == 1
+        assert hist[0, :3].sum() == 0
+
+    def test_total_ones_preserved(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(4, 100), dtype=np.uint8)
+        stream = StreamBatch.from_bits(bits)
+        hist = run_length_histogram(stream, max_run=100)
+        lengths = np.arange(1, 101)
+        np.testing.assert_array_equal(
+            (hist * lengths).sum(axis=-1), bits.sum(axis=-1)
+        )
+
+
+class TestCorrelatedOps:
+    def _streams(self, a, b, seed_a, seed_b, length=1016):
+        sng = SNG(LFSRSource(7), 7)
+        q = quantize_unipolar(np.array([a, b]), 7)
+        s = sng.generate(q, np.array([seed_a, seed_b]), length)
+        return s[0], s[1]
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shared_seed_or_is_exact_max(self, a, b):
+        sa, sb = self._streams(a, b, 5, 5, length=127)
+        result = float(correlated_max(sa, sb).mean()[()])
+        q = quantize_unipolar(np.array([a, b]), 7) / 127
+        assert result == pytest.approx(max(q[0], q[1]), abs=1e-9)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shared_seed_and_is_exact_min(self, a, b):
+        sa, sb = self._streams(a, b, 9, 9, length=127)
+        result = float(correlated_min(sa, sb).mean()[()])
+        q = quantize_unipolar(np.array([a, b]), 7) / 127
+        assert result == pytest.approx(min(q[0], q[1]), abs=1e-9)
+
+    def test_independent_or_exceeds_max(self):
+        # With independent streams OR approximates the saturating sum,
+        # which is strictly above max for nonextreme values.
+        sa, sb = self._streams(0.4, 0.5, 3, 88, length=4096)
+        result = float((sa | sb).mean()[()])
+        assert result > 0.55
+
+    def test_max_pool_streams(self):
+        rng = np.random.default_rng(2)
+        windows = rng.uniform(0, 1, size=(10, 4))
+        estimates = max_pool_streams(
+            windows, LFSRSource(7), 7, stream_length=127
+        )
+        expected = (quantize_unipolar(windows, 7) / 127).max(axis=-1)
+        np.testing.assert_allclose(estimates, expected, atol=1e-9)

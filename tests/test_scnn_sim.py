@@ -1,0 +1,205 @@
+"""Tests for the bit-true SC convolution simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.scnn.config import SCConfig
+from repro.scnn.sim import (
+    SCConvSimulator,
+    SCLinearSimulator,
+    clear_table_cache,
+    stream_table,
+)
+from repro.sc.rng import LFSRSource
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_table_cache()
+    yield
+    clear_table_cache()
+
+
+def make_inputs(seed=0, n=2, cin=3, size=6, cout=4, k=3):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, cin, size, size)).astype(np.float32)
+    w = rng.uniform(-0.4, 0.4, size=(cout, cin, k, k)).astype(np.float32)
+    return x, w
+
+
+class TestStreamTable:
+    def test_table_shape(self):
+        src = LFSRSource(5)
+        table, unique = stream_table(src, 5, 32, np.array([3, 7, 3]), False)
+        assert unique.tolist() == [3, 7]
+        assert table.shape == (2, 32, 1)
+
+    def test_table_counts_match_values(self):
+        # Over a full period the row for value q holds exactly q ones.
+        src = LFSRSource(5)
+        table, unique = stream_table(src, 5, 31, np.array([1]), False)
+        from repro.utils.bitops import popcount_packed
+
+        counts = popcount_packed(table[0])
+        np.testing.assert_array_equal(counts, np.arange(32))
+
+    def test_lfsr_table_cached(self):
+        src = LFSRSource(5)
+        a, _ = stream_table(src, 5, 32, np.array([1, 2]), False)
+        b, _ = stream_table(src, 5, 32, np.array([1, 2]), False)
+        assert a is b
+
+
+class TestSCConvSimulator:
+    def test_output_shape(self):
+        x, w = make_inputs()
+        cfg = SCConfig(stream_length=32, stream_length_pooling=32)
+        sim = SCConvSimulator((4, 3, 3, 3), cfg)
+        assert sim(x, w).shape == (2, 4, 4, 4)
+
+    def test_fxp_converges_to_linear_conv(self):
+        # FXP accumulation is an unbiased estimate of the linear conv;
+        # at 256-bit streams the error must be small.
+        x, w = make_inputs(seed=1)
+        cfg = SCConfig(
+            stream_length=256, stream_length_pooling=256, accumulation="fxp"
+        )
+        sim = SCConvSimulator((4, 3, 3, 3), cfg)
+        y = sim(x, w)
+        y_fp = F.conv2d(Tensor(x), Tensor(w)).data
+        assert np.abs(y - y_fp).mean() < 0.06
+
+    def test_accumulation_mode_ordering(self):
+        # Counts can only grow as more accumulation moves to fixed point.
+        x, w = make_inputs(seed=2)
+        w = np.abs(w)  # positive weights isolate the pos channel
+        outs = {}
+        for mode in ("sc", "pbw", "pbhw", "fxp"):
+            cfg = SCConfig(
+                stream_length=64, stream_length_pooling=64, accumulation=mode
+            )
+            outs[mode] = SCConvSimulator((4, 3, 3, 3), cfg)(x, w)
+        assert np.all(outs["sc"] <= outs["pbw"] + 1e-6)
+        assert np.all(outs["pbw"] <= outs["pbhw"] + 1e-6)
+        assert np.all(outs["pbhw"] <= outs["fxp"] + 1e-6)
+
+    def test_sc_mode_saturates_at_one(self):
+        x, w = make_inputs(seed=3)
+        w = np.abs(w)
+        cfg = SCConfig(stream_length=64, stream_length_pooling=64, accumulation="sc")
+        y = SCConvSimulator((4, 3, 3, 3), cfg)(x, w)
+        assert y.max() <= 1.0 + 1e-6
+
+    def test_lfsr_deterministic_across_calls(self):
+        x, w = make_inputs(seed=4)
+        cfg = SCConfig(stream_length=32, stream_length_pooling=32)
+        sim = SCConvSimulator((4, 3, 3, 3), cfg)
+        np.testing.assert_array_equal(sim(x, w), sim(x, w))
+
+    def test_trng_varies_across_calls(self):
+        x, w = make_inputs(seed=5)
+        cfg = SCConfig(
+            stream_length=32, stream_length_pooling=32, rng_kind="trng"
+        )
+        sim = SCConvSimulator((4, 3, 3, 3), cfg)
+        assert not np.array_equal(sim(x, w), sim(x, w))
+
+    def test_progressive_close_to_normal(self):
+        # Progressive loading perturbs only the first few cycles, so at
+        # 128-bit streams the outputs stay close (paper: -0.42% worst
+        # case at 32 bits on a whole network).
+        x, w = make_inputs(seed=6)
+        base = SCConfig(stream_length=128, stream_length_pooling=128)
+        y_normal = SCConvSimulator((4, 3, 3, 3), base)(x, w)
+        y_prog = SCConvSimulator(
+            (4, 3, 3, 3), base.with_(progressive=True)
+        )(x, w)
+        assert np.abs(y_normal - y_prog).mean() < 0.05
+
+    def test_extreme_sharing_biases_or_accumulation(self):
+        # Extreme sharing correlates the product streams that meet at the
+        # same OR gate, so OR degenerates toward max() and the output
+        # collapses far below the independent-stream OR expectation —
+        # the Fig. 1 collapse mechanism. FXP accumulation is immune
+        # (per-product estimates stay unbiased), so we compare OR outputs
+        # against the independent-OR expectation.
+        from repro.sc.accumulate import expected_accumulate
+        from repro.nn.functional import im2col
+
+        x, w = make_inputs(seed=7)
+        w = np.abs(w)
+        cols = im2col(x, 3, 3, 1, 0)  # (N, C, KH, KW, OH, OW)
+        probs = np.einsum(
+            "nijkhw,oijk->nohwijk", cols, w
+        )  # products per (n, cout, oh, ow, cin, kh, kw)
+        expected = expected_accumulate(probs, "sc")
+        errs = {}
+        for sharing in ("moderate", "extreme"):
+            cfg = SCConfig(
+                stream_length=128,
+                stream_length_pooling=128,
+                accumulation="sc",
+                sharing=sharing,
+            )
+            y = SCConvSimulator((4, 3, 3, 3), cfg)(x, w)
+            errs[sharing] = np.abs(y - expected).mean()
+        assert errs["extreme"] > 1.5 * errs["moderate"]
+
+    def test_input_validation(self):
+        cfg = SCConfig(stream_length=32, stream_length_pooling=32)
+        sim = SCConvSimulator((4, 3, 3, 3), cfg)
+        with pytest.raises(ShapeError):
+            sim(np.zeros((2, 5, 6, 6)), np.zeros((4, 3, 3, 3)))
+        with pytest.raises(ShapeError):
+            sim(np.zeros((2, 3, 6, 6)), np.zeros((4, 3, 5, 5)))
+
+    def test_batch_chunking_is_transparent(self):
+        x, w = make_inputs(seed=8, n=5)
+        big = SCConfig(stream_length=32, stream_length_pooling=32, batch_chunk=16)
+        small = big.with_(batch_chunk=2)
+        ya = SCConvSimulator((4, 3, 3, 3), big)(x, w)
+        yb = SCConvSimulator((4, 3, 3, 3), small)(x, w)
+        np.testing.assert_array_equal(ya, yb)
+
+
+class TestSCLinearSimulator:
+    def test_output_shape(self):
+        cfg = SCConfig(stream_length=64, stream_length_pooling=64)
+        sim = SCLinearSimulator(16, 5, cfg)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(3, 16)).astype(np.float32)
+        w = rng.uniform(-0.4, 0.4, size=(5, 16)).astype(np.float32)
+        assert sim(x, w).shape == (3, 5)
+
+    def test_fxp_converges_to_dot(self):
+        cfg = SCConfig(
+            stream_length=256, stream_length_pooling=256, accumulation="fxp"
+        )
+        sim = SCLinearSimulator(8, 3, cfg)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(4, 8)).astype(np.float32)
+        w = rng.uniform(-0.5, 0.5, size=(3, 8)).astype(np.float32)
+        y = sim(x, w)
+        np.testing.assert_allclose(y, x @ w.T, atol=0.15)
+
+    def test_group_selection_divides(self):
+        cfg = SCConfig(stream_length=64, stream_length_pooling=64)
+        # 84 features: the widest divisor <= 8 is 7.
+        sim = SCLinearSimulator(84, 10, cfg)
+        assert sim.binary_groups == 7
+        assert 84 % sim.binary_groups == 0
+
+    def test_sc_mode_single_group(self):
+        cfg = SCConfig(
+            stream_length=64, stream_length_pooling=64, accumulation="sc"
+        )
+        assert SCLinearSimulator(84, 10, cfg).binary_groups == 1
+
+    def test_fxp_mode_every_feature(self):
+        cfg = SCConfig(
+            stream_length=64, stream_length_pooling=64, accumulation="fxp"
+        )
+        assert SCLinearSimulator(84, 10, cfg).binary_groups == 84

@@ -1,0 +1,123 @@
+"""Tests for model checkpointing and architecture design-space sweeps."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.arch.sweep import DesignPoint, best_under_area, pareto_frontier, sweep
+from repro.errors import ConfigurationError
+from repro.models.shapes import cnn4_shapes
+from repro.nn.serialize import load_checkpoint, peek_metadata, save_checkpoint
+from repro.nn.tensor import Tensor
+from repro.scnn import SCConfig
+from repro.scnn.layers import SCConv2d
+
+
+class TestCheckpointing:
+    def make_model(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return nn.Sequential(
+            nn.Conv2d(1, 4, 3, rng=rng),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+            nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 3, rng=rng),
+        )
+
+    def test_roundtrip_restores_outputs(self, tmp_path):
+        a = self.make_model(seed=1)
+        a.layers[1].running_mean[:] = 0.3  # nontrivial buffer state
+        path = save_checkpoint(a, tmp_path / "model")
+        assert path.suffix == ".npz"
+        b = self.make_model(seed=2)
+        load_checkpoint(b, path)
+        x = Tensor(np.random.default_rng(3).uniform(0, 1, (2, 1, 6, 6)))
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(x).data, b(x).data, rtol=1e-6)
+
+    def test_metadata_roundtrip(self, tmp_path):
+        model = self.make_model()
+        meta = {"accuracy": 0.91, "config": "32-64"}
+        path = save_checkpoint(model, tmp_path / "ckpt.npz", metadata=meta)
+        restored = load_checkpoint(self.make_model(), path)
+        assert restored == meta
+        assert peek_metadata(path) == meta
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(self.make_model(), tmp_path / "nope.npz")
+
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(self.make_model(), path)
+
+    def test_sc_model_checkpoints(self, tmp_path):
+        cfg = SCConfig(stream_length=32, stream_length_pooling=32)
+        rng = np.random.default_rng(4)
+        a = nn.Sequential(SCConv2d(1, 2, 3, cfg, rng=rng))
+        path = save_checkpoint(a, tmp_path / "sc")
+        b = nn.Sequential(
+            SCConv2d(1, 2, 3, cfg, rng=np.random.default_rng(5))
+        )
+        load_checkpoint(b, path)
+        np.testing.assert_array_equal(
+            a.layers[0].weight.data, b.layers[0].weight.data
+        )
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep(
+            cnn4_shapes(32),
+            rows_options=(16, 32),
+            row_width_options=(400, 800),
+            stream_options=((32, 64),),
+        )
+
+    def test_point_count(self, points):
+        assert len(points) == 4
+
+    def test_bigger_arrays_are_faster_and_larger(self, points):
+        by_geometry = {
+            (p.arch.rows, p.arch.row_width): p for p in points
+        }
+        small = by_geometry[(16, 400)]
+        big = by_geometry[(32, 800)]
+        assert big.frames_per_second > small.frames_per_second
+        assert big.area_mm2 > small.area_mm2
+
+    def test_pareto_frontier_nonempty_and_sorted(self, points):
+        frontier = pareto_frontier(points)
+        assert frontier
+        areas = [p.area_mm2 for p in frontier]
+        assert areas == sorted(areas)
+        # No frontier point dominates another.
+        for p in frontier:
+            assert not any(q.dominates(p) for q in frontier if q is not p)
+
+    def test_best_under_area(self, points):
+        budget = max(p.area_mm2 for p in points)
+        best = best_under_area(points, budget)
+        assert best.area_mm2 <= budget
+        with pytest.raises(ConfigurationError):
+            best_under_area(points, 0.001)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep([])
+
+    def test_dominance_logic(self):
+        from repro.arch.geo import GEO_ULP
+        from repro.scnn.config import SCConfig as C
+
+        base = dict(arch=GEO_ULP, streams=C(stream_length=64, stream_length_pooling=32))
+        a = DesignPoint(**base, area_mm2=1.0, frames_per_second=100,
+                        frames_per_joule=100, power_mw=10)
+        b = DesignPoint(**base, area_mm2=2.0, frames_per_second=90,
+                        frames_per_joule=90, power_mw=10)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)

@@ -1,0 +1,107 @@
+"""Tests for RNG seed-sharing policies (paper Sec. II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sc.rng import LFSRSource, TRNGSource
+from repro.sc.sharing import SharingLevel, lfsr_count, plan_seeds
+
+
+KERNEL = (8, 4, 3, 3)  # (Cout, Cin, KH, KW)
+
+
+class TestPlanShapes:
+    @pytest.mark.parametrize("level", ["none", "moderate", "extreme"])
+    def test_shapes(self, level):
+        plan = plan_seeds(level, KERNEL, LFSRSource(7))
+        assert plan.weight_seeds.shape == KERNEL
+        assert plan.act_seeds.shape == KERNEL[1:]
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_seeds("none", (0, 1, 1, 1), LFSRSource(7))
+
+    def test_level_parsing(self):
+        assert SharingLevel.parse("MODERATE") is SharingLevel.MODERATE
+        with pytest.raises(ValueError):
+            SharingLevel.parse("partial")
+
+
+class TestNoSharing:
+    def test_all_weight_seeds_distinct_with_big_pool(self):
+        plan = plan_seeds("none", KERNEL, TRNGSource(7))
+        assert np.unique(plan.weight_seeds).size == np.prod(KERNEL)
+
+    def test_act_and_weight_pools_disjoint(self):
+        plan = plan_seeds("none", KERNEL, TRNGSource(7))
+        overlap = np.intersect1d(
+            plan.weight_seeds.ravel(), plan.act_seeds.ravel()
+        )
+        assert overlap.size == 0
+
+    def test_wrap_flag_when_pool_too_small(self):
+        # 8*4*3*3 + 4*3*3 = 324 seeds requested; a 5-bit LFSR pool is
+        # far smaller, so the plan must report wrap-around.
+        plan = plan_seeds("none", KERNEL, LFSRSource(5))
+        assert plan.wrapped
+        plan_big = plan_seeds("none", KERNEL, TRNGSource(7))
+        assert not plan_big.wrapped
+
+
+class TestModerateSharing:
+    def test_seeds_shared_across_output_channels(self):
+        plan = plan_seeds("moderate", KERNEL, LFSRSource(7))
+        for c in range(1, KERNEL[0]):
+            np.testing.assert_array_equal(
+                plan.weight_seeds[c], plan.weight_seeds[0]
+            )
+
+    def test_distinct_within_kernel(self):
+        plan = plan_seeds("moderate", KERNEL, TRNGSource(7))
+        kernel0 = plan.weight_seeds[0]
+        assert np.unique(kernel0).size == kernel0.size
+
+    def test_fewer_lfsrs_than_no_sharing(self):
+        none = plan_seeds("none", KERNEL, TRNGSource(7))
+        moderate = plan_seeds("moderate", KERNEL, TRNGSource(7))
+        assert lfsr_count(moderate) < lfsr_count(none)
+
+
+class TestExtremeSharing:
+    def test_seeds_shared_across_rows(self):
+        plan = plan_seeds("extreme", KERNEL, LFSRSource(7))
+        # Same weight seed set for every (cout, cin, kh) row, and same
+        # activation seed set for every (cin, kh) row.
+        row = plan.weight_seeds[0, 0, 0]
+        assert np.all(plan.weight_seeds == row)
+        act_row = plan.act_seeds[0, 0]
+        assert np.all(plan.act_seeds == act_row)
+
+    def test_lfsr_count_is_row_width_scale(self):
+        plan = plan_seeds("extreme", KERNEL, LFSRSource(7))
+        # One shared set: KW seeds serve weights AND activations.
+        assert lfsr_count(plan) == KERNEL[3]
+
+    def test_act_weight_streams_share_the_same_seed_set(self):
+        # "All rows of all kernels in a layer use the same set of seeds"
+        # — the activation SNGs included, so the AND multipliers
+        # degenerate to min() and OR accumulation to max-of-min: the
+        # Fig. 1 collapse mechanism.
+        plan = plan_seeds("extreme", KERNEL, LFSRSource(7))
+        np.testing.assert_array_equal(
+            np.unique(plan.weight_seeds), np.unique(plan.act_seeds)
+        )
+
+
+class TestLayerSeparation:
+    def test_layers_draw_different_seeds(self):
+        a = plan_seeds("moderate", KERNEL, TRNGSource(7), layer_index=0)
+        b = plan_seeds("moderate", KERNEL, TRNGSource(7), layer_index=1)
+        assert not np.array_equal(a.weight_seeds, b.weight_seeds)
+
+    def test_plans_are_reproducible(self):
+        a = plan_seeds("moderate", KERNEL, LFSRSource(7), layer_index=2, root_seed=5)
+        b = plan_seeds("moderate", KERNEL, LFSRSource(7), layer_index=2, root_seed=5)
+        np.testing.assert_array_equal(a.weight_seeds, b.weight_seeds)
+        np.testing.assert_array_equal(a.act_seeds, b.act_seeds)

@@ -1,0 +1,128 @@
+"""Tests for the packed stream container and SCC correlation metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, StreamLengthError
+from repro.sc.streams import StreamBatch, scc
+
+
+def random_batch(shape, length, seed=0, density=0.5):
+    rng = np.random.default_rng(seed)
+    bits = (rng.random(shape + (length,)) < density).astype(np.uint8)
+    return StreamBatch.from_bits(bits), bits
+
+
+class TestConstruction:
+    def test_from_bits_roundtrip(self):
+        batch, bits = random_batch((3, 4), 100, seed=1)
+        assert batch.shape == (3, 4)
+        assert batch.length == 100
+        np.testing.assert_array_equal(batch.bits(), bits)
+
+    def test_zeros_and_ones(self):
+        z = StreamBatch.zeros((2,), 70)
+        o = StreamBatch.ones((2,), 70)
+        np.testing.assert_array_equal(z.counts(), [0, 0])
+        np.testing.assert_array_equal(o.counts(), [70, 70])
+
+    def test_ones_tail_is_masked(self):
+        o = StreamBatch.ones((1,), 10)
+        assert int(o.packed[0, 0]) == (1 << 10) - 1
+
+    def test_bad_packed_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            StreamBatch(np.zeros((2, 3), dtype=np.uint64), 64)
+
+
+class TestLogic:
+    def test_and_or_xor_invert(self):
+        a, abits = random_batch((5,), 96, seed=2)
+        b, bbits = random_batch((5,), 96, seed=3)
+        np.testing.assert_array_equal((a & b).bits(), abits & bbits)
+        np.testing.assert_array_equal((a | b).bits(), abits | bbits)
+        np.testing.assert_array_equal((a ^ b).bits(), abits ^ bbits)
+        np.testing.assert_array_equal((~a).bits(), 1 - abits)
+
+    def test_invert_keeps_tail_clean(self):
+        a = StreamBatch.zeros((1,), 10)
+        inv = ~a
+        assert inv.counts()[0] == 10  # not 64
+
+    def test_length_mismatch_rejected(self):
+        a, _ = random_batch((2,), 64)
+        b, _ = random_batch((2,), 128)
+        with pytest.raises(StreamLengthError):
+            _ = a & b
+
+
+class TestReductions:
+    def test_or_reduce_matches_numpy(self):
+        a, bits = random_batch((4, 6), 80, seed=4, density=0.2)
+        reduced = a.or_reduce(axis=0)
+        np.testing.assert_array_equal(
+            reduced.bits(), np.bitwise_or.reduce(bits, axis=0)
+        )
+
+    def test_and_reduce_matches_numpy(self):
+        a, bits = random_batch((4, 6), 80, seed=5, density=0.8)
+        reduced = a.and_reduce(axis=1)
+        np.testing.assert_array_equal(
+            reduced.bits(), np.bitwise_and.reduce(bits, axis=1)
+        )
+
+    def test_negative_axis(self):
+        a, bits = random_batch((4, 6), 80, seed=6)
+        reduced = a.or_reduce(axis=-1)
+        np.testing.assert_array_equal(
+            reduced.bits(), np.bitwise_or.reduce(bits, axis=1)
+        )
+
+    def test_axis_out_of_range(self):
+        a, _ = random_batch((4,), 32)
+        with pytest.raises(ShapeError):
+            a.or_reduce(axis=1)
+
+    def test_mean_estimate(self):
+        bits = np.zeros((1, 100), dtype=np.uint8)
+        bits[0, :25] = 1
+        batch = StreamBatch.from_bits(bits)
+        np.testing.assert_allclose(batch.mean(), [0.25])
+
+    def test_reshape_and_getitem(self):
+        a, bits = random_batch((4, 6), 80, seed=7)
+        flat = a.reshape((24,))
+        assert flat.shape == (24,)
+        np.testing.assert_array_equal(flat[3].bits(), bits.reshape(24, 80)[3])
+
+
+class TestSCC:
+    def test_identical_streams_scc_one(self):
+        a, _ = random_batch((10,), 256, seed=8)
+        np.testing.assert_allclose(scc(a, a), np.ones(10), atol=1e-12)
+
+    def test_complementary_streams_scc_minus_one(self):
+        a, _ = random_batch((10,), 256, seed=9)
+        result = scc(a, ~a)
+        np.testing.assert_allclose(result, -np.ones(10), atol=1e-12)
+
+    def test_independent_streams_near_zero(self):
+        a, _ = random_batch((50,), 4096, seed=10)
+        b, _ = random_batch((50,), 4096, seed=11)
+        assert np.abs(scc(a, b)).mean() < 0.1
+
+    def test_length_mismatch_rejected(self):
+        a, _ = random_batch((1,), 64)
+        b, _ = random_batch((1,), 128)
+        with pytest.raises(StreamLengthError):
+            scc(a, b)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_scc_bounded(self, seed):
+        a, _ = random_batch((8,), 128, seed=seed)
+        b, _ = random_batch((8,), 128, seed=seed + 1)
+        values = scc(a, b)
+        assert np.all(values >= -1.0 - 1e-9) and np.all(values <= 1.0 + 1e-9)

@@ -1,0 +1,200 @@
+"""Autograd engine tests: every op gradient-checked numerically."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GradientError
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack
+
+
+def numeric_grad(func, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``func``."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = func(x.astype(np.float32))
+        flat[i] = orig - eps
+        down = func(x.astype(np.float32))
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x: np.ndarray, atol=2e-2, rtol=2e-2):
+    """Compare autograd gradient to numeric for loss = build(Tensor)."""
+    t = Tensor(x, requires_grad=True)
+    loss = build(t)
+    loss.backward()
+    expected = numeric_grad(lambda arr: float(build(Tensor(arr)).data), x)
+    np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=rtol)
+
+
+class TestBasicOps:
+    def test_add_mul_chain(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = (a * a + a).sum()
+        b.backward()
+        assert a.grad.item() == pytest.approx(5.0)
+
+    def test_broadcast_add(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        bias = Tensor(rng.normal(size=(4,)).astype(np.float32), requires_grad=True)
+        out = (Tensor(x) + bias).sum()
+        out.backward()
+        np.testing.assert_allclose(bias.grad, np.full(4, 3.0))
+
+    def test_div_gradient(self):
+        check_gradient(
+            lambda t: (t / 3.0 + 2.0 / (t + 5.0)).sum(),
+            np.random.default_rng(1).uniform(0.5, 2, size=(3, 3)),
+        )
+
+    def test_pow_gradient(self):
+        check_gradient(
+            lambda t: (t**3).sum(),
+            np.random.default_rng(2).uniform(0.5, 2, size=(4,)),
+        )
+
+    def test_matmul_gradient(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(4, 5)).astype(np.float32)
+        check_gradient(
+            lambda t: (t @ Tensor(w)).sum(), rng.normal(size=(2, 4))
+        )
+
+    def test_matmul_weight_gradient(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        check_gradient(
+            lambda t: (Tensor(x) @ t).sum(), rng.normal(size=(4, 3))
+        )
+
+    def test_sub_and_neg(self):
+        a = Tensor([3.0], requires_grad=True)
+        out = (5.0 - a).sum()
+        out.backward()
+        assert a.grad.item() == pytest.approx(-1.0)
+
+
+class TestReductionsAndShaping:
+    def test_sum_axis_gradient(self):
+        check_gradient(
+            lambda t: (t.sum(axis=0) ** 2).sum(),
+            np.random.default_rng(5).normal(size=(3, 4)),
+        )
+
+    def test_mean_gradient(self):
+        x = np.random.default_rng(6).normal(size=(2, 5))
+        check_gradient(lambda t: t.mean() * 10.0, x)
+
+    def test_reshape_transpose_gradient(self):
+        check_gradient(
+            lambda t: (t.reshape(6).transpose() * np.arange(6, dtype=np.float32)).sum(),
+            np.random.default_rng(7).normal(size=(2, 3)),
+        )
+
+    def test_getitem_gradient(self):
+        x = np.random.default_rng(8).normal(size=(4, 3))
+        t = Tensor(x, requires_grad=True)
+        out = (t[1:3] * 2.0).sum()
+        out.backward()
+        expected = np.zeros_like(x)
+        expected[1:3] = 2.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_stack_and_concatenate(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        s = stack([a, b]).sum()
+        s.backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        a.zero_grad()
+        b.zero_grad()
+        c = concatenate([a, b]).sum()
+        c.backward()
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+
+class TestNonlinearities:
+    def test_relu_gradient(self):
+        x = np.array([-1.0, 0.5, 2.0, -0.1])
+        t = Tensor(x, requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_exp_log_gradient(self):
+        check_gradient(
+            lambda t: (t.exp() + (t + 3.0).log()).sum(),
+            np.random.default_rng(9).uniform(0.1, 1, size=(5,)),
+        )
+
+    def test_tanh_gradient(self):
+        check_gradient(
+            lambda t: t.tanh().sum(),
+            np.random.default_rng(10).normal(size=(5,)),
+        )
+
+    def test_clip_gradient_masks_outside(self):
+        x = np.array([-2.0, 0.0, 0.5, 2.0])
+        t = Tensor(x, requires_grad=True)
+        t.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_reused_node_accumulates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2.0
+        out = (b + b).sum()
+        out.backward()
+        assert a.grad.item() == pytest.approx(4.0)
+
+    def test_diamond_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        left = a * 3.0
+        right = a * 4.0
+        out = (left * right).sum()  # 12 a^2 -> 24 a = 48
+        out.backward()
+        assert a.grad.item() == pytest.approx(48.0)
+
+    def test_no_grad_context(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_backward_nonscalar_needs_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradientError):
+            (a * 2.0).backward()
+
+    def test_backward_without_requires_grad(self):
+        a = Tensor([1.0])
+        with pytest.raises(GradientError):
+            a.backward()
+
+    def test_explicit_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3.0).backward(np.array([1.0, 10.0], dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [3.0, 30.0])
+
+    def test_gradient_shape_checked(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradientError):
+            (a * 3.0).backward(np.ones(3, dtype=np.float32))
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=20, deadline=None)
+    def test_composite_expression_property(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.2, 1.5, size=(3,))
+        check_gradient(
+            lambda t: ((t * t - t / 2.0).relu() + t.exp() * 0.1).sum(), x
+        )

@@ -1,0 +1,67 @@
+"""Tests for seeding and report utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.report import Table, format_ratio
+from repro.utils.seeding import SeedSequenceFactory, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_path_sensitivity(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "a", "c")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_range(self):
+        for i in range(20):
+            seed = derive_seed(i, "x")
+            assert 0 <= seed < 2**63
+
+
+class TestSeedFactory:
+    def test_generator_reproducible(self):
+        factory = SeedSequenceFactory(root=42)
+        a = factory.generator("data").random(5)
+        b = factory.generator("data").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_namespacing(self):
+        factory = SeedSequenceFactory(root=42)
+        child = factory.child("experiment")
+        assert child.seed("x") != factory.seed("x")
+
+    def test_different_paths_differ(self):
+        factory = SeedSequenceFactory(root=0)
+        a = factory.generator("one").random(3)
+        b = factory.generator("two").random(3)
+        assert not np.array_equal(a, b)
+
+
+class TestReport:
+    def test_format_ratio(self):
+        assert format_ratio(4.4) == "4.40X"
+        assert format_ratio(4.4, digits=1) == "4.4X"
+
+    def test_table_renders_rows(self):
+        table = Table(["a", "b"], title="t")
+        table.add_row([1, 2.5])
+        table.add_row(["x", None])
+        text = table.render()
+        assert "t" in text
+        assert "2.5" in text
+        assert "—" in text
+
+    def test_row_width_validated(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_alignment(self):
+        table = Table(["name", "v"])
+        table.add_row(["long-name-here", 1])
+        lines = table.render().splitlines()
+        # header and data rows share the same width
+        assert len(lines[0]) == len(lines[2])
