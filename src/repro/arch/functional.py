@@ -29,10 +29,10 @@ from repro.arch.geo import GeoArchConfig
 from repro.errors import CompilationError, ShapeError
 from repro.models.shapes import LayerShape
 from repro.nn.functional import conv_output_size, im2col
-from repro.sc.accumulate import AccumulationMode
 from repro.sc.formats import quantize_unipolar
+from repro.sc.kernels import fused_conv_counts
 from repro.scnn.config import SCConfig
-from repro.scnn.sim import SCConvSimulator, _reduce_products, stream_table
+from repro.scnn.sim import SCConvSimulator, stream_table
 
 
 class RowDatapath:
@@ -111,26 +111,18 @@ class RowDatapath:
             lo, hi = p * windows, min((p + 1) * windows, oh * ow)
             # Fill the activation SNG buffers for this window batch; the
             # same per-position seeds serve every window (broadcast).
-            window_cols = cols[..., lo:hi]  # (N, Cin, KH, KW, Wb)
-            act = table[
-                act_seed_idx[None, :, :, :, None], window_cols
-            ]  # (N, Cin, KH, KW, Wb, words)
-            act = np.moveaxis(act, 4, 1)  # (N, Wb, Cin, KH, KW, words)
-            for co in range(cout):
-                pos = _reduce_products(
-                    (act & wp[co][None, None]).reshape(
-                        n * (hi - lo), cin, kh, kw, 1, 1, -1
-                    ),
-                    AccumulationMode.parse(self.cfg.accumulation),
-                )
-                neg = _reduce_products(
-                    (act & wn[co][None, None]).reshape(
-                        n * (hi - lo), cin, kh, kw, 1, 1, -1
-                    ),
-                    AccumulationMode.parse(self.cfg.accumulation),
-                )
-                values = (pos - neg).reshape(n, hi - lo, 1, 1)[:, :, 0, 0]
-                out[:, co, lo:hi] = values.astype(np.float32) / length
+            # The fused kernels compute every MAC row of the pass in one
+            # sweep — exactly the hardware's row-parallel execution.
+            signed = fused_conv_counts(
+                table,
+                act_seed_idx,
+                cols[..., lo:hi],  # (N, Cin, KH, KW, Wb)
+                wp,
+                wn,
+                self.cfg.accumulation,
+                num_workers=self.cfg.num_workers,
+            )  # (N, Cout, Wb)
+            out[:, :, lo:hi] = (signed / length).astype(np.float32)
         if np.isnan(out).any():
             raise CompilationError("mapping left output positions uncovered")
         return out.reshape(n, cout, oh, ow)

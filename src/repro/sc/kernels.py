@@ -1,0 +1,404 @@
+"""Fused word-parallel bit-kernels for the SC convolution hot path.
+
+Every accuracy experiment in the paper funnels through the bit-true SC
+convolution, whose naive form materializes, for *each* output channel, a
+full ``(N, Cin, KH, KW, OH, OW, words)`` product tensor, reduces it, and
+throws it away. This module replaces that loop with fused streaming
+kernels built around two observations:
+
+1. Every partial-binary accumulation mode is the same computation with a
+   different *OR-group structure*: partition the ``Cin*KH*KW`` kernel
+   positions into ``G`` groups of ``S`` members, OR the AND-products
+   within each group, popcount the merged words, and add the ``G`` group
+   counts in fixed point (SC: one group of everything; PBW: one group
+   per kernel column; PBHW: one group per ``(kh, kw)`` tap; FXP: every
+   product its own group; APC: pairs). OR is associative and popcount is
+   exact, so any evaluation order is bit-identical to the reference.
+
+2. The activation gather does not depend on the output channel, so
+   gathering once per spatial chunk and sweeping all (positive and
+   negative, stacked) weight channels over it — in cache-blocked slabs
+   written into preallocated buffers — removes the per-channel re-read
+   and re-allocation of the activation tensor that dominates the naive
+   loop. The gather lands directly in ``(N, P, G, S, words)`` layout
+   (the OR-group permutation is baked into the gather indices), which
+   makes the kernel-position axis the *contiguous inner axis* of both
+   the AND and the OR-reduction: the AND's vectorized inner loop runs
+   over the whole ``G*S*words`` block and the OR reads sequential
+   memory. Product slabs are sized to stay cache-resident, so the full
+   product tensor never round-trips through DRAM.
+
+FXP additionally gets a signed-magnitude fast path: in split-unipolar
+form at most one of the positive/negative weight streams per position is
+non-zero, so one AND pass over the magnitude stream with a ±1 sign fold
+does the work of two stacked passes.
+
+Sharding (``num_workers``) splits the spatial axis (or the channel axis
+for pointwise/FC shapes) across the shared thread pool of
+:mod:`repro.utils.parallel`; numpy releases the GIL inside the kernels,
+so threads scale without copying the stream tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.sc.accumulate import AccumulationMode
+from repro.utils.bitops import popcount_packed
+from repro.utils.parallel import parallel_map, resolve_workers, shard_slices
+
+#: Peak bytes one product slab may occupy. Deliberately cache-sized:
+#: the slab is written by the AND and immediately consumed by the
+#: OR-reduction and popcount, so keeping it resident in L2/L3 means the
+#: product tensor never round-trips through DRAM — only the (much
+#: smaller) activation gather and merged group words touch memory.
+DEFAULT_SLAB_BYTES = 1 << 19
+
+#: Preferred channel-block width: each channel block re-reads the same
+#: gathered activation chunk, so wider blocks amortize that read; the
+#: spatial chunk shrinks to keep the slab under budget.
+_TARGET_CHANNEL_BLOCK = 16
+
+#: Minimum spatial chunk before the channel block starts shrinking:
+#: per-block ufunc dispatch is amortized over ``n * pc`` outer
+#: iterations, so single-position chunks are pure overhead.
+_MIN_SPATIAL_CHUNK = 8
+
+#: OR-group sizes up to this bound merge via explicit sliced ORs;
+#: ``ufunc.reduce`` over a short axis pays per-output setup costs that
+#: dwarf the actual word operations (measured crossover ≈ 8 members).
+_SMALL_GROUP_OR = 8
+
+
+def group_structure(
+    mode: AccumulationMode | str, cin: int, kh: int, kw: int
+) -> tuple[np.ndarray, bool]:
+    """OR-group structure of an accumulation mode.
+
+    Returns ``(group_k, identity)`` where ``group_k`` has shape
+    ``(G, S)``: row ``g`` lists the flat kernel indices (C-order over
+    ``(Cin, KH, KW)``) whose AND-products are OR-merged into group ``g``.
+    The sentinel index ``cin*kh*kw`` refers to an implicit all-zero
+    stream (APC padding for odd product counts — OR-identity, popcount
+    zero). ``identity`` is True when ``group_k`` is a plain reshape of
+    ``arange(K)`` so callers can skip the gather copy.
+    """
+    mode = AccumulationMode.parse(mode)
+    k = cin * kh * kw
+    flat = np.arange(k, dtype=np.int64).reshape(cin, kh, kw)
+    if mode is AccumulationMode.SC:
+        return flat.reshape(1, k), True
+    if mode is AccumulationMode.PBW:
+        # OR over (Cin, KH) per kernel column; fixed point across KW.
+        return np.ascontiguousarray(
+            flat.transpose(2, 0, 1).reshape(kw, cin * kh)
+        ), False
+    if mode is AccumulationMode.PBHW:
+        # OR over Cin per (kh, kw) tap; fixed point across KH*KW.
+        return np.ascontiguousarray(
+            flat.transpose(1, 2, 0).reshape(kh * kw, cin)
+        ), False
+    if mode is AccumulationMode.FXP:
+        return flat.reshape(k, 1), True
+    if mode is AccumulationMode.APC:
+        # Pairs (2i, 2i+1) in flat C-order; odd tail pads with the zero
+        # stream, matching the reference's separate leftover popcount.
+        padded = k + (k % 2)
+        idx = np.full(padded, k, dtype=np.int64)
+        idx[:k] = np.arange(k)
+        return idx.reshape(-1, 2), False
+    raise ConfigurationError(f"unhandled accumulation mode {mode}")
+
+
+def _chunk_sizes(
+    n: int, m: int, g: int, s: int, words: int, p: int, slab_bytes: int
+) -> tuple[int, int]:
+    """Spatial / channel-block chunk sizes keeping slabs under budget.
+
+    The kernel-position block ``(G, S, words)`` is the contiguous inner
+    axis, so chunking never shortens the vectorized inner loop; the
+    channel block gets priority (it amortizes re-reads of the gathered
+    activation chunk) and the spatial chunk absorbs the budget.
+    """
+    per_unit = max(1, n * g * s * words * 8)  # bytes per (m=1, p=1)
+    mb = min(m, _TARGET_CHANNEL_BLOCK)
+    pc = slab_bytes // (per_unit * mb)
+    while pc < _MIN_SPATIAL_CHUNK and mb > 1:
+        # Tiny spatial chunks multiply per-block dispatch overhead;
+        # trade channel-block width for spatial extent first.
+        mb = max(1, mb // 2)
+        pc = slab_bytes // (per_unit * mb)
+    pc = max(1, pc)
+    if pc >= p:
+        # Spare budget: widen the channel block instead (FC shapes).
+        pc = p
+        mb = min(m, max(1, slab_bytes // (per_unit * pc)))
+    return pc, mb
+
+
+def _grouped_gather_indices(
+    rows_flat: np.ndarray,
+    cols_flat: np.ndarray,
+    group_k: np.ndarray,
+    identity: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Bake the OR-group permutation into the activation gather indices.
+
+    Returns ``(rows_g, cols_g, zero_slots)``: table-row indices ``(K',)``
+    and value indices ``(N, P, K')`` ordered so a single fancy gather
+    produces activations in ``(N, P, G, S, words)`` group layout with no
+    second copy. ``zero_slots`` marks sentinel positions (APC padding)
+    that must be cleared to the all-zero stream after the gather.
+    """
+    cols_t = cols_flat.transpose(0, 2, 1)  # (N, P, K) view
+    if identity:
+        return rows_flat, cols_t, None
+    flat = group_k.reshape(-1)
+    k = rows_flat.shape[0]
+    zero_slots = flat == k
+    safe = np.where(zero_slots, 0, flat)
+    rows_g = rows_flat[safe]
+    cols_g = np.ascontiguousarray(cols_t[:, :, safe])
+    return rows_g, cols_g, zero_slots if bool(zero_slots.any()) else None
+
+
+def _grouped_weights(
+    weights: np.ndarray, group_k: np.ndarray, pad: bool
+) -> np.ndarray:
+    """Rearrange packed weight streams ``(M, K, words)`` to group layout
+    ``(M, G, S, words)``, appending the zero pad stream when needed."""
+    if pad:
+        zero = np.zeros(
+            (weights.shape[0], 1, weights.shape[-1]), dtype=weights.dtype
+        )
+        weights = np.concatenate([weights, zero], axis=1)
+    return np.ascontiguousarray(weights[:, group_k])
+
+
+def _grouped_counts(
+    table: np.ndarray,
+    rows_g: np.ndarray,
+    cols_g: np.ndarray,
+    zero_slots: np.ndarray | None,
+    w_g: np.ndarray,
+    counts: np.ndarray,
+    p_span: slice,
+    m_span: slice,
+    slab_bytes: int,
+    group_weights: np.ndarray | None = None,
+) -> None:
+    """Fill ``counts[:, m_span, p_span]`` for one shard.
+
+    The product slab and merged buffers are allocated once per shard and
+    reused across every chunk; the slab is cache-sized, so products are
+    written, OR-merged, and popcounted without touching DRAM. When
+    ``group_weights`` is given (signed-magnitude FXP path), group counts
+    are combined as ``sum_g gw[m, g] * count_g`` instead of a plain sum.
+    """
+    n = cols_g.shape[0]
+    words = table.shape[-1]
+    g, s = w_g.shape[1:3]
+    m_total = m_span.stop - m_span.start
+    p_total = p_span.stop - p_span.start
+    pc, mb = _chunk_sizes(n, m_total, g, s, words, p_total, slab_bytes)
+    slab = np.empty((n, mb, pc, g, s, words), dtype=np.uint64)
+    merged = (
+        np.empty((n, mb, pc, g, words), dtype=np.uint64) if s > 1 else None
+    )
+    for lo in range(p_span.start, p_span.stop, pc):
+        hi = min(lo + pc, p_span.stop)
+        width = hi - lo
+        act = table[rows_g[None, None, :], cols_g[:, lo:hi]]
+        if zero_slots is not None:
+            act[:, :, zero_slots] = 0
+        # (N, Pc, K', words) -> broadcastable (N, 1, Pc, G, S, words)
+        act_b = act.reshape(n, width, g, s, words)[:, None]
+        for m_lo in range(m_span.start, m_span.stop, mb):
+            m_hi = min(m_lo + mb, m_span.stop)
+            m_width = m_hi - m_lo
+            slab_view = slab[:, :m_width, :width]
+            np.bitwise_and(
+                act_b,
+                w_g[m_lo:m_hi][None, :, None],
+                out=slab_view,
+            )
+            if s == 1:
+                merged_view = slab_view[:, :, :, :, 0]
+            elif s <= _SMALL_GROUP_OR:
+                # ufunc.reduce over a tiny axis pays per-output setup
+                # costs; a handful of sliced ORs is much faster (APC).
+                merged_view = merged[:, :m_width, :width]
+                np.bitwise_or(
+                    slab_view[:, :, :, :, 0],
+                    slab_view[:, :, :, :, 1],
+                    out=merged_view,
+                )
+                for i in range(2, s):
+                    np.bitwise_or(
+                        merged_view, slab_view[:, :, :, :, i], out=merged_view
+                    )
+            else:
+                merged_view = merged[:, :m_width, :width]
+                np.bitwise_or.reduce(slab_view, axis=4, out=merged_view)
+            group_counts = popcount_packed(merged_view)  # (N, Mb, Pc, G)
+            if group_weights is None:
+                counts[:, m_lo:m_hi, lo:hi] = group_counts.sum(
+                    axis=3, dtype=np.int64
+                )
+            else:
+                counts[:, m_lo:m_hi, lo:hi] = np.einsum(
+                    "nmpg,mg->nmp",
+                    group_counts,
+                    group_weights[m_lo:m_hi],
+                    dtype=np.int64,
+                )
+
+
+def _shard_spans(
+    p: int, m: int, workers: int
+) -> list[tuple[slice, slice]]:
+    """Shard the (spatial, channel) work grid across workers.
+
+    Wide spatial extents shard along P (each worker gathers a disjoint
+    activation span — no redundant work); pointwise/FC shapes (tiny P)
+    shard along the stacked channel axis instead.
+    """
+    if workers <= 1:
+        return [(slice(0, p), slice(0, m))]
+    if p >= workers:
+        return [(ps, slice(0, m)) for ps in shard_slices(p, workers)]
+    return [(slice(0, p), ms) for ms in shard_slices(m, workers)]
+
+
+def fused_conv_counts(
+    table: np.ndarray,
+    act_rows: np.ndarray,
+    cols: np.ndarray,
+    wp: np.ndarray,
+    wn: np.ndarray,
+    mode: AccumulationMode | str,
+    num_workers: int | None = 1,
+    slab_bytes: int = DEFAULT_SLAB_BYTES,
+) -> np.ndarray:
+    """Signed product counts of a packed-stream SC convolution.
+
+    Parameters
+    ----------
+    table:
+        Packed stream table ``(rows, 2**bits, words)``.
+    act_rows:
+        ``(Cin, KH, KW)`` table-row index of each activation SNG.
+    cols:
+        ``(N, Cin, KH, KW, P)`` quantized activation value per kernel
+        position and output position (``P`` = flattened output extent).
+    wp, wn:
+        Packed positive/negative weight streams
+        ``(Cout, Cin, KH, KW, words)``.
+    mode:
+        Partial-binary accumulation mode.
+    num_workers:
+        Worker-pool sharding (see :mod:`repro.utils.parallel`).
+    slab_bytes:
+        Product-slab chunking budget.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(N, Cout, P)`` int64 counts, positive minus negative channel —
+        bit-identical to the reference per-channel reduction.
+    """
+    mode = AccumulationMode.parse(mode)
+    if cols.ndim != 5:
+        raise ShapeError(f"cols must be (N, Cin, KH, KW, P), got {cols.shape}")
+    n, cin, kh, kw, p = cols.shape
+    if act_rows.shape != (cin, kh, kw):
+        raise ShapeError(
+            f"act_rows shape {act_rows.shape} != kernel {(cin, kh, kw)}"
+        )
+    if wp.shape != wn.shape or wp.shape[1:4] != (cin, kh, kw):
+        raise ShapeError(
+            f"weight shapes {wp.shape}/{wn.shape} incompatible with "
+            f"kernel {(cin, kh, kw)}"
+        )
+    cout = wp.shape[0]
+    words = table.shape[-1]
+    k = cin * kh * kw
+    rows_flat = np.ascontiguousarray(act_rows, dtype=np.int64).reshape(k)
+    cols_flat = np.ascontiguousarray(cols).reshape(n, k, p)
+    workers = resolve_workers(num_workers)
+
+    if mode is AccumulationMode.FXP:
+        signed = _fxp_magnitude_counts(
+            table, rows_flat, cols_flat, wp, wn, workers, slab_bytes
+        )
+        if signed is not None:
+            return signed
+
+    group_k, identity = group_structure(mode, cin, kh, kw)
+    pad = bool(k % 2) if mode is AccumulationMode.APC else False
+    wstack = np.concatenate(
+        [wp.reshape(cout, k, words), wn.reshape(cout, k, words)], axis=0
+    )
+    w_g = _grouped_weights(wstack, group_k, pad)
+    rows_g, cols_g, zero_slots = _grouped_gather_indices(
+        rows_flat, cols_flat, group_k, identity
+    )
+    m = 2 * cout
+    counts = np.empty((n, m, p), dtype=np.int64)
+    spans = _shard_spans(p, m, workers)
+
+    def run(span: tuple[slice, slice]) -> None:
+        p_span, m_span = span
+        _grouped_counts(
+            table, rows_g, cols_g, zero_slots, w_g,
+            counts, p_span, m_span, slab_bytes,
+        )
+
+    parallel_map(run, spans, workers)
+    return counts[:, :cout] - counts[:, cout:]
+
+
+def _fxp_magnitude_counts(
+    table: np.ndarray,
+    rows_flat: np.ndarray,
+    cols_flat: np.ndarray,
+    wp: np.ndarray,
+    wn: np.ndarray,
+    workers: int,
+    slab_bytes: int,
+) -> np.ndarray | None:
+    """Signed-magnitude FXP fast path.
+
+    In split-unipolar form each weight position drives exactly one of
+    the positive/negative streams (the other is the all-zero stream), so
+    ``pos_counts - neg_counts`` equals a single pass over the magnitude
+    stream ``wp | wn`` with a per-position sign fold. Returns ``None``
+    when the precondition does not hold (caller falls back to the
+    stacked two-channel pass).
+    """
+    n, k, p = cols_flat.shape
+    cout = wp.shape[0]
+    words = table.shape[-1]
+    wp_flat = wp.reshape(cout, k, words)
+    wn_flat = wn.reshape(cout, k, words)
+    pos_nz = wp_flat.any(axis=-1)
+    neg_nz = wn_flat.any(axis=-1)
+    if bool(np.any(pos_nz & neg_nz)):
+        return None
+    w_mag = wp_flat | wn_flat  # exactly the non-zero channel per position
+    sgn = pos_nz.astype(np.int64) - neg_nz.astype(np.int64)  # (Cout, K)
+    w_g = w_mag.reshape(cout, k, 1, words)
+    cols_t = cols_flat.transpose(0, 2, 1)  # (N, P, K) view
+    counts = np.empty((n, cout, p), dtype=np.int64)
+    spans = _shard_spans(p, cout, workers)
+
+    def run(span: tuple[slice, slice]) -> None:
+        p_span, m_span = span
+        _grouped_counts(
+            table, rows_flat, cols_t, None, w_g,
+            counts, p_span, m_span, slab_bytes, group_weights=sgn,
+        )
+
+    parallel_map(run, spans, workers)
+    return counts

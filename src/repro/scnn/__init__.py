@@ -10,6 +10,8 @@ from repro.scnn.layers import (
     SCConv2d,
     SCLinear,
     SCModule,
+    set_engine,
+    set_num_workers,
     set_simulation,
     straight_through,
     swap_config,
@@ -19,6 +21,7 @@ from repro.scnn.sim import (
     SCLinearSimulator,
     clear_table_cache,
     stream_table,
+    table_cache_stats,
 )
 from repro.scnn.train import (
     TrainResult,
@@ -34,6 +37,8 @@ __all__ = [
     "SCConv2d",
     "SCLinear",
     "SCModule",
+    "set_engine",
+    "set_num_workers",
     "set_simulation",
     "straight_through",
     "swap_config",
@@ -41,6 +46,7 @@ __all__ = [
     "SCLinearSimulator",
     "clear_table_cache",
     "stream_table",
+    "table_cache_stats",
     "TrainResult",
     "evaluate",
     "run_length_double_check",

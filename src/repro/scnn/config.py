@@ -51,6 +51,16 @@ class SCConfig:
     trng_eval_freeze:
         When true, TRNG draws are frozen per forward call index —
         only useful to make unit tests deterministic.
+    engine:
+        Execution engine of the bit-true forward: ``"fused"`` (default,
+        the streaming kernels of :mod:`repro.sc.kernels`) or
+        ``"reference"`` (the original per-output-channel reduction).
+        Both are bit-identical; the reference engine exists for
+        cross-checks and benchmarking.
+    num_workers:
+        Worker threads the fused engine shards across: ``1`` serial,
+        ``n > 1`` that many workers, ``0`` one per available CPU. The
+        reference engine ignores this knob.
     """
 
     stream_length: int = 128
@@ -63,6 +73,8 @@ class SCConfig:
     root_seed: int = 0
     batch_chunk: int = 16
     trng_eval_freeze: bool = False
+    engine: str = "fused"
+    num_workers: int = 1
 
     def __post_init__(self):
         for name in ("stream_length", "stream_length_pooling", "output_stream_length"):
@@ -76,6 +88,14 @@ class SCConfig:
         )
         if self.batch_chunk < 1:
             raise ConfigurationError("batch_chunk must be >= 1")
+        if self.engine not in ("fused", "reference"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r} (fused | reference)"
+            )
+        if self.num_workers < 0:
+            raise ConfigurationError(
+                "num_workers must be >= 0 (0 = one worker per CPU)"
+            )
 
     # -- derived ---------------------------------------------------------------
 

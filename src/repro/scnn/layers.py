@@ -147,6 +147,29 @@ def set_simulation(model: Module, flag: bool) -> None:
             module.set_simulate(flag)
 
 
+def _reconfigure_execution(model: Module, **kwargs) -> None:
+    """Update execution-only knobs (engine / num_workers / batch_chunk)
+    on every SC layer without rebuilding seed plans or stream tables."""
+    for module in model.modules():
+        if isinstance(module, SCModule):
+            module.cfg = module.cfg.with_(**kwargs)
+            simulator = getattr(module, "simulator", None)
+            if simulator is not None:
+                simulator.reconfigure(**kwargs)
+
+
+def set_engine(model: Module, engine: str) -> None:
+    """Switch every SC layer between the ``"fused"`` and ``"reference"``
+    execution engines (bit-identical outputs; see `repro.sc.kernels`)."""
+    _reconfigure_execution(model, engine=engine)
+
+
+def set_num_workers(model: Module, num_workers: int) -> None:
+    """Set the fused-engine worker count on every SC layer (``0`` = one
+    worker per CPU; see :mod:`repro.utils.parallel`)."""
+    _reconfigure_execution(model, num_workers=num_workers)
+
+
 def swap_config(model: Module, cfg: SCConfig) -> None:
     """Replace the SC config of every SC layer (e.g. validate a
     TRNG-trained model with LFSR generation, as in the Fig. 1 mismatch

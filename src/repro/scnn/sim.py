@@ -11,11 +11,20 @@ quantized value)``, and both alphabets are small (``<= 2**n`` values,
 a few hundred shared seeds). Streams are therefore materialized through a
 precomputed *stream table* ``(num_seeds, 2**n, words)`` and pure fancy
 indexing — no per-element comparator loop. For deterministic LFSR sources
-the tables are cached across training steps; TRNG tables are rebuilt every
-call, which is exactly the physical difference training exploits.
+the tables are cached (LRU) across training steps; TRNG tables are rebuilt
+every call, which is exactly the physical difference training exploits.
+
+The table is consumed by one of two interchangeable, bit-identical
+execution engines: the fused streaming kernels of
+:mod:`repro.sc.kernels` (``SCConfig.engine == "fused"``, the default,
+with optional multicore sharding via ``SCConfig.num_workers``) or the
+original per-output-channel reduction (``engine == "reference"``), kept
+for bit-exactness cross-checks.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -23,6 +32,7 @@ from repro.errors import ConfigurationError, ShapeError
 from repro.nn.functional import conv_output_size, im2col
 from repro.sc.accumulate import AccumulationMode
 from repro.sc.formats import quantize_unipolar
+from repro.sc.kernels import fused_conv_counts
 from repro.sc.rng import LFSRSource, RandomSource, SobolSource, TRNGSource
 from repro.sc.sharing import SeedPlan, plan_seeds
 from repro.sc.sng import SNG, ProgressiveSNG
@@ -30,13 +40,29 @@ from repro.scnn.config import SCConfig
 from repro.utils.bitops import popcount_packed
 from repro.utils.seeding import derive_seed
 
-_TABLE_CACHE: dict[tuple, np.ndarray] = {}
+# LRU cache of deterministic stream tables: hits move the entry to the
+# MRU end; overflow evicts only the LRU entry (the old behaviour dropped
+# the whole cache, flushing every other layer's table on the 257th
+# distinct key). Hit/miss counters feed the hot-path benchmark report.
+_TABLE_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
 _TABLE_CACHE_LIMIT = 256
+_TABLE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def clear_table_cache() -> None:
-    """Drop cached LFSR stream tables (tests / memory pressure)."""
+    """Drop cached LFSR stream tables and reset the hit/miss counters
+    (tests / memory pressure)."""
     _TABLE_CACHE.clear()
+    _TABLE_CACHE_STATS.update(hits=0, misses=0, evictions=0)
+
+
+def table_cache_stats() -> dict[str, int]:
+    """Current stream-table cache counters (cacheable lookups only)."""
+    return {
+        **_TABLE_CACHE_STATS,
+        "size": len(_TABLE_CACHE),
+        "capacity": _TABLE_CACHE_LIMIT,
+    }
 
 
 def _make_generator(source: RandomSource, bits: int, progressive: bool):
@@ -82,15 +108,19 @@ def stream_table(
         )
         cached = _TABLE_CACHE.get(cache_key)
         if cached is not None:
+            _TABLE_CACHE.move_to_end(cache_key)
+            _TABLE_CACHE_STATS["hits"] += 1
             return cached, unique
+        _TABLE_CACHE_STATS["misses"] += 1
     generator = _make_generator(source, bits, progressive)
     targets = np.broadcast_to(alphabet, (unique.size, alphabet.size))
     seed_grid = np.broadcast_to(unique[:, None], targets.shape)
     batch = generator.generate(targets, seed_grid, length)
     table = batch.packed  # (U, 2**bits, words)
     if cache_key is not None:
-        if len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
-            _TABLE_CACHE.clear()
+        while len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.popitem(last=False)
+            _TABLE_CACHE_STATS["evictions"] += 1
         _TABLE_CACHE[cache_key] = table
     return table, unique
 
@@ -135,12 +165,23 @@ def _reduce_products(
     raise ConfigurationError(f"unhandled accumulation mode {mode}")
 
 
+#: Execution-only knobs that can change without invalidating a
+#: simulator's seed plan or stream tables.
+_EXECUTION_KNOBS = frozenset({"engine", "num_workers", "batch_chunk"})
+
+
 class SCConvSimulator:
     """Bit-true SC forward for one convolution layer.
 
     The simulator is constructed once per layer (it owns the seed plan)
     and called every forward pass. ``call_index`` advances TRNG draws so
     non-deterministic sources genuinely differ between passes.
+
+    Two execution engines produce bit-identical outputs:
+    ``cfg.engine == "fused"`` (default) runs the cache-blocked streaming
+    kernels of :mod:`repro.sc.kernels`, optionally sharded across
+    ``cfg.num_workers`` threads; ``"reference"`` keeps the original
+    per-output-channel reduction for cross-checks.
     """
 
     def __init__(
@@ -172,6 +213,17 @@ class SCConvSimulator:
             layer_index=layer_index,
             root_seed=cfg.root_seed,
         )
+
+    def reconfigure(self, **kwargs) -> None:
+        """Update execution knobs (engine, num_workers, batch_chunk) in
+        place; anything affecting streams/seeds needs a new simulator."""
+        bad = set(kwargs) - _EXECUTION_KNOBS
+        if bad:
+            raise ConfigurationError(
+                f"only execution knobs {sorted(_EXECUTION_KNOBS)} can be "
+                f"reconfigured in place, got {sorted(bad)}"
+            )
+        self.cfg = self.cfg.with_(**kwargs)
 
     # -- forward ---------------------------------------------------------------
 
@@ -228,6 +280,7 @@ class SCConvSimulator:
 
         act_seed_idx = np.searchsorted(unique, self.plan.act_seeds)
         mode = self.cfg.accumulation
+        fused = self.cfg.engine == "fused"
         chunk = max(1, self.cfg.batch_chunk)
         for start in range(0, n, chunk):
             xs = q_act_full[start : start + chunk]
@@ -235,6 +288,23 @@ class SCConvSimulator:
                 xs.astype(np.float32), kh, kw, self.stride, self.padding
             ).astype(np.int64)
             # cols: (nc, Cin, KH, KW, OH, OW)
+            if fused:
+                nc = cols.shape[0]
+                signed = fused_conv_counts(
+                    table,
+                    act_seed_idx,
+                    cols.reshape(nc, cin, kh, kw, oh * ow),
+                    wp,
+                    wn,
+                    mode,
+                    num_workers=self.cfg.num_workers,
+                )  # (nc, Cout, OH*OW)
+                out[start : start + chunk] = (
+                    (signed / self.length)
+                    .astype(np.float32)
+                    .reshape(nc, cout, oh, ow)
+                )
+                continue
             act = table[
                 act_seed_idx[None, :, :, :, None, None], cols
             ]  # (nc, Cin, KH, KW, OH, OW, words)
@@ -302,6 +372,10 @@ class SCLinearSimulator:
             role=role,
             layer_index=layer_index,
         )
+
+    def reconfigure(self, **kwargs) -> None:
+        """Update execution knobs on the folded convolution simulator."""
+        self._conv.reconfigure(**kwargs)
 
     def __call__(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """``x``: (N, F) in [0,1]; ``weight``: (Fout, F) in [-1,1]."""

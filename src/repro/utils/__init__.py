@@ -1,21 +1,34 @@
-"""Shared low-level utilities: bit packing, seeding, and report printing."""
+"""Shared low-level utilities: bit packing, seeding, worker pools, and
+report printing."""
 
 from repro.utils.bitops import (
+    HAS_NATIVE_POPCOUNT,
     pack_bits,
     unpack_bits,
     popcount,
     popcount_packed,
     packed_words,
 )
+from repro.utils.parallel import (
+    cpu_count,
+    parallel_map,
+    resolve_workers,
+    shard_slices,
+)
 from repro.utils.seeding import SeedSequenceFactory, derive_seed
 from repro.utils.report import Table, format_ratio
 
 __all__ = [
+    "HAS_NATIVE_POPCOUNT",
     "pack_bits",
     "unpack_bits",
     "popcount",
     "popcount_packed",
     "packed_words",
+    "cpu_count",
+    "parallel_map",
+    "resolve_workers",
+    "shard_slices",
     "SeedSequenceFactory",
     "derive_seed",
     "Table",

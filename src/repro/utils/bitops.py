@@ -22,10 +22,19 @@ from repro.errors import ShapeError
 WORD_BITS = 64
 
 # Lookup table: number of set bits in each possible byte value. Used to
-# popcount packed arrays by viewing the uint64 words as bytes.
+# popcount packed arrays by viewing the uint64 words as bytes. Kept as
+# the portable fallback for numpy < 2.0 (no ``np.bitwise_count``) and for
+# cross-checking the native path in tests.
 _BYTE_POPCOUNT = np.array(
     [bin(i).count("1") for i in range(256)], dtype=np.uint8
 )
+
+#: Whether this numpy exposes the native per-element popcount ufunc.
+HAS_NATIVE_POPCOUNT = hasattr(np, "bitwise_count")
+
+#: Process-wide default: use ``np.bitwise_count`` when available. Flip to
+#: False to force the byte-LUT path (tests, debugging).
+USE_NATIVE_POPCOUNT = HAS_NATIVE_POPCOUNT
 
 
 def packed_words(length: int) -> int:
@@ -94,17 +103,37 @@ def unpack_bits(packed: np.ndarray, length: int) -> np.ndarray:
     return bits[..., :length]
 
 
-def popcount_packed(packed: np.ndarray, axis: int = -1) -> np.ndarray:
+def popcount_packed(
+    packed: np.ndarray, axis: int = -1, native: bool | None = None
+) -> np.ndarray:
     """Count set bits of packed ``uint64`` words, summed along ``axis``.
 
     Stream tails beyond the nominal length must already be zero (pack_bits
     guarantees this), so no masking is needed.
+
+    Parameters
+    ----------
+    packed:
+        ``uint64`` array whose last axis is the word axis.
+    axis:
+        Must be the last axis (kept as a parameter for API clarity).
+    native:
+        Force (``True``) or forbid (``False``) the ``np.bitwise_count``
+        fast path; ``None`` follows the module default
+        :data:`USE_NATIVE_POPCOUNT`.
     """
+    if axis != -1:
+        packed = np.asarray(packed)
+        if axis != packed.ndim - 1:
+            raise ShapeError("popcount_packed only supports the last axis")
+    if native is None:
+        native = USE_NATIVE_POPCOUNT
+    if native and HAS_NATIVE_POPCOUNT:
+        packed = np.asarray(packed, dtype=np.uint64)
+        return np.bitwise_count(packed).sum(axis=-1, dtype=np.int64)
     packed = np.ascontiguousarray(packed, dtype="<u8")
     as_bytes = packed.view(np.uint8).reshape(packed.shape[:-1] + (-1,))
     counts = _BYTE_POPCOUNT[as_bytes]
-    if axis != -1 and axis != packed.ndim - 1:
-        raise ShapeError("popcount_packed only supports the last axis")
     return counts.sum(axis=-1, dtype=np.int64)
 
 
@@ -112,8 +141,11 @@ def popcount(values: np.ndarray | int) -> np.ndarray | int:
     """Per-element population count of integer values (not packed arrays)."""
     scalar = np.isscalar(values)
     arr = np.asarray(values, dtype=np.uint64)
-    as_bytes = arr.reshape(arr.shape + (1,)).view(np.uint8)
-    counts = _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+    if USE_NATIVE_POPCOUNT and HAS_NATIVE_POPCOUNT:
+        counts = np.bitwise_count(arr).astype(np.int64)
+    else:
+        as_bytes = arr.reshape(arr.shape + (1,)).view(np.uint8)
+        counts = _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
     if scalar:
         return int(counts)
     return counts

@@ -1,0 +1,125 @@
+"""Reusable worker pool for sharding bit-kernel work across cores.
+
+The fused SC kernels (:mod:`repro.sc.kernels`) spend essentially all of
+their time inside numpy ufuncs and fancy indexing, which release the GIL,
+so plain threads scale across cores without pickling the (large) packed
+stream tables the way a process pool would. The pool here is a lazily
+created, module-level :class:`~concurrent.futures.ThreadPoolExecutor`
+that is grown on demand and shared by every simulator in the process —
+creating a pool per forward pass would cost more than the sharded work.
+
+``num_workers`` convention (used by :class:`repro.scnn.config.SCConfig`):
+
+* ``1``  — serial execution on the calling thread (the default);
+* ``n>1`` — shard across ``n`` worker threads;
+* ``0``  — auto: one worker per available CPU.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_POOL: ThreadPoolExecutor | None = None
+_POOL_SIZE = 0
+_POOL_LOCK = threading.Lock()
+
+
+def cpu_count() -> int:
+    """Usable CPU count (respects affinity masks where available)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(num_workers: int | None) -> int:
+    """Normalize a ``num_workers`` knob to a concrete worker count.
+
+    ``None``/``1`` mean serial, ``0`` means one worker per CPU, any other
+    positive value is taken literally.
+    """
+    if num_workers is None:
+        return 1
+    if num_workers < 0:
+        raise ConfigurationError(
+            f"num_workers must be >= 0 (0 = auto), got {num_workers}"
+        )
+    if num_workers == 0:
+        return cpu_count()
+    return int(num_workers)
+
+
+def get_pool(workers: int) -> ThreadPoolExecutor:
+    """The shared pool, grown to at least ``workers`` threads."""
+    global _POOL, _POOL_SIZE
+    if workers < 1:
+        raise ConfigurationError(f"pool size must be >= 1, got {workers}")
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE < workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="sc-kernel"
+            )
+            _POOL_SIZE = workers
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests / interpreter shutdown)."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    jobs: Sequence[_T],
+    num_workers: int | None = 1,
+) -> list[_R]:
+    """Apply ``fn`` to every job, sharded across the worker pool.
+
+    Serial (no pool, no thread hop) when the resolved worker count is 1
+    or there is at most one job; exceptions from workers propagate.
+    """
+    workers = min(resolve_workers(num_workers), len(jobs))
+    if workers <= 1:
+        return [fn(job) for job in jobs]
+    pool = get_pool(workers)
+    return list(pool.map(fn, jobs))
+
+
+def shard_slices(total: int, parts: int) -> list[slice]:
+    """Split ``range(total)`` into at most ``parts`` balanced slices."""
+    if total < 0:
+        raise ConfigurationError(f"total must be >= 0, got {total}")
+    if parts < 1:
+        raise ConfigurationError(f"parts must be >= 1, got {parts}")
+    parts = min(parts, total) or (1 if total == 0 else parts)
+    if total == 0:
+        return []
+    base, extra = divmod(total, parts)
+    slices = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+def iter_shards(items: Sequence[_T], parts: int) -> Iterable[Sequence[_T]]:
+    """Yield balanced contiguous shards of ``items``."""
+    for sl in shard_slices(len(items), parts):
+        yield items[sl]

@@ -119,3 +119,69 @@ class TestMaskTail:
     def test_over_capacity_rejected(self):
         with pytest.raises(ShapeError):
             mask_tail(np.zeros((1, 1), dtype=np.uint64), 65)
+
+
+class TestNativePopcount:
+    """The np.bitwise_count fast path must agree exactly with the
+    byte-LUT fallback (satellite: popcount backend switch)."""
+
+    def test_flag_reflects_numpy(self):
+        from repro.utils.bitops import HAS_NATIVE_POPCOUNT
+
+        assert HAS_NATIVE_POPCOUNT == hasattr(np, "bitwise_count")
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_paths_agree_random_packed(self, seed):
+        from repro.utils.bitops import HAS_NATIVE_POPCOUNT
+
+        if not HAS_NATIVE_POPCOUNT:
+            pytest.skip("numpy without bitwise_count")
+        rng = np.random.default_rng(seed)
+        shape = tuple(rng.integers(1, 5, size=rng.integers(1, 4))) + (
+            int(rng.integers(1, 6)),
+        )
+        packed = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            popcount_packed(packed, native=True),
+            popcount_packed(packed, native=False),
+        )
+
+    def test_paths_agree_after_tail_masking(self):
+        from repro.utils.bitops import HAS_NATIVE_POPCOUNT
+
+        if not HAS_NATIVE_POPCOUNT:
+            pytest.skip("numpy without bitwise_count")
+        rng = np.random.default_rng(123)
+        packed = rng.integers(0, 2**64, size=(4, 7, 3), dtype=np.uint64)
+        for length in (1, 63, 64, 65, 128, 191, 192):
+            masked = mask_tail(packed, length)
+            native = popcount_packed(masked, native=True)
+            lut = popcount_packed(masked, native=False)
+            np.testing.assert_array_equal(native, lut)
+            assert int(native.max()) <= length
+
+    def test_forced_paths_on_extremes(self):
+        zeros = np.zeros((2, 3), dtype=np.uint64)
+        ones = np.full((2, 3), ~np.uint64(0))
+        for native in (True, False):
+            np.testing.assert_array_equal(
+                popcount_packed(zeros, native=native), [0, 0]
+            )
+            np.testing.assert_array_equal(
+                popcount_packed(ones, native=native), [192, 192]
+            )
+
+    def test_module_default_toggle(self):
+        from repro.utils import bitops
+
+        packed = np.arange(8, dtype=np.uint64).reshape(2, 4)
+        expect = popcount_packed(packed, native=False)
+        saved = bitops.USE_NATIVE_POPCOUNT
+        try:
+            bitops.USE_NATIVE_POPCOUNT = False
+            np.testing.assert_array_equal(popcount_packed(packed), expect)
+            bitops.USE_NATIVE_POPCOUNT = bitops.HAS_NATIVE_POPCOUNT
+            np.testing.assert_array_equal(popcount_packed(packed), expect)
+        finally:
+            bitops.USE_NATIVE_POPCOUNT = saved

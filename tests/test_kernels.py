@@ -1,0 +1,206 @@
+"""Tests for the fused bit-kernel engine (:mod:`repro.sc.kernels`).
+
+The load-bearing guarantee is bit-exactness: for every accumulation
+mode, RNG source, and progressive setting, ``engine="fused"`` must
+produce *identical* float outputs to the original per-output-channel
+reference path — OR is associative and the stream lengths are powers of
+two, so any evaluation order yields the same bits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sc.accumulate import AccumulationMode
+from repro.sc.kernels import (
+    DEFAULT_SLAB_BYTES,
+    fused_conv_counts,
+    group_structure,
+)
+from repro.scnn.config import SCConfig
+from repro.scnn.sim import SCConvSimulator, SCLinearSimulator, clear_table_cache
+
+MODES = ("sc", "pbw", "pbhw", "fxp", "apc")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_table_cache()
+    yield
+    clear_table_cache()
+
+
+def make_inputs(seed=0, n=2, cin=3, size=6, cout=4, k=3):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, cin, size, size)).astype(np.float32)
+    w = rng.uniform(-0.4, 0.4, size=(cout, cin, k, k)).astype(np.float32)
+    return x, w
+
+
+def run_both(cfg: SCConfig, x, w, kernel=(4, 3, 3, 3)):
+    outs = {}
+    for engine in ("reference", "fused"):
+        sim = SCConvSimulator(kernel, cfg.with_(engine=engine))
+        outs[engine] = sim(x, w)
+    return outs["reference"], outs["fused"]
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("rng_kind", ("lfsr", "trng"))
+    @pytest.mark.parametrize("progressive", (False, True))
+    def test_fused_matches_reference(self, mode, rng_kind, progressive):
+        x, w = make_inputs(seed=hash((mode, rng_kind, progressive)) % 1000)
+        cfg = SCConfig(
+            stream_length=32,
+            stream_length_pooling=32,
+            accumulation=mode,
+            rng_kind=rng_kind,
+            progressive=progressive,
+            # Frozen TRNG draws make the two engine runs see the same
+            # streams; fresh draws would differ by construction.
+            trng_eval_freeze=True,
+        )
+        ref, fused = run_both(cfg, x, w)
+        np.testing.assert_array_equal(ref, fused)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_fused_matches_reference_multiword(self, mode):
+        # Stream length > 64 exercises multi-word packed streams.
+        x, w = make_inputs(seed=11)
+        cfg = SCConfig(
+            stream_length=128, stream_length_pooling=128, accumulation=mode
+        )
+        ref, fused = run_both(cfg, x, w)
+        np.testing.assert_array_equal(ref, fused)
+
+    def test_fused_matches_with_workers(self):
+        x, w = make_inputs(seed=3, n=3, size=8)
+        cfg = SCConfig(stream_length=32, stream_length_pooling=32)
+        sim1 = SCConvSimulator((4, 3, 3, 3), cfg.with_(num_workers=1))
+        sim2 = SCConvSimulator((4, 3, 3, 3), cfg.with_(num_workers=3))
+        np.testing.assert_array_equal(sim1(x, w), sim2(x, w))
+
+    def test_odd_kernel_count_apc_padding(self):
+        # Cin*KH*KW odd forces the APC zero-stream pad slot.
+        x, w = make_inputs(seed=5, cin=3, k=3)
+        assert (3 * 3 * 3) % 2 == 1
+        cfg = SCConfig(
+            stream_length=32, stream_length_pooling=32, accumulation="apc"
+        )
+        ref, fused = run_both(cfg, x, w)
+        np.testing.assert_array_equal(ref, fused)
+
+    def test_linear_simulator_engines_agree(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0, 1, size=(3, 12)).astype(np.float32)
+        w = rng.uniform(-0.5, 0.5, size=(5, 12)).astype(np.float32)
+        for mode in MODES:
+            cfg = SCConfig(
+                stream_length=32, stream_length_pooling=32, accumulation=mode
+            )
+            ref = SCLinearSimulator(12, 5, cfg.with_(engine="reference"))(x, w)
+            fused = SCLinearSimulator(12, 5, cfg.with_(engine="fused"))(x, w)
+            np.testing.assert_array_equal(ref, fused)
+
+
+class TestGroupStructure:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_partition_covers_every_position(self, mode):
+        cin, kh, kw = 3, 3, 3
+        k = cin * kh * kw
+        group_k, _ = group_structure(mode, cin, kh, kw)
+        members = group_k.ravel()
+        real = members[members < k]  # drop the APC pad sentinel
+        assert sorted(real.tolist()) == list(range(k))
+
+    def test_group_shapes(self):
+        cin, kh, kw = 4, 3, 5
+        k = cin * kh * kw
+        assert group_structure("sc", cin, kh, kw)[0].shape == (1, k)
+        assert group_structure("pbw", cin, kh, kw)[0].shape == (kw, cin * kh)
+        assert group_structure("pbhw", cin, kh, kw)[0].shape == (kh * kw, cin)
+        assert group_structure("fxp", cin, kh, kw)[0].shape == (k, 1)
+        assert group_structure("apc", cin, kh, kw)[0].shape == (k // 2, 2)
+
+    def test_pbw_groups_are_kernel_columns(self):
+        # Group kw holds every (cin, kh) position of kernel column kw.
+        cin, kh, kw = 2, 3, 3
+        group_k, identity = group_structure("pbw", cin, kh, kw)
+        assert not identity
+        flat = np.arange(cin * kh * kw).reshape(cin, kh, kw)
+        for col in range(kw):
+            assert set(group_k[col]) == set(flat[:, :, col].ravel())
+
+    def test_apc_odd_count_pads_with_sentinel(self):
+        cin, kh, kw = 1, 3, 3  # 9 positions -> 5 pairs, one padded
+        group_k, _ = group_structure("apc", cin, kh, kw)
+        assert group_k.shape == (5, 2)
+        assert group_k[-1, -1] == 9  # sentinel = all-zero stream
+
+    def test_identity_flags(self):
+        assert group_structure("sc", 2, 3, 3)[1]
+        assert group_structure("fxp", 2, 3, 3)[1]
+        assert not group_structure("pbw", 2, 3, 3)[1]
+
+
+class TestFusedConvCounts:
+    def _operands(self, mode="pbw", n=2, cin=2, cout=3, k=3, p=10, seed=0):
+        from repro.sc.rng import LFSRSource
+        from repro.scnn.sim import stream_table
+
+        rng = np.random.default_rng(seed)
+        bits = 5
+        source = LFSRSource(bits)
+        seeds = np.arange(1, 1 + cin * k * k + cout)
+        table, unique = stream_table(source, bits, 32, seeds, False)
+        act_rows = np.searchsorted(
+            unique, seeds[: cin * k * k].reshape(cin, k, k)
+        )
+        cols = rng.integers(0, 1 << bits, size=(n, cin, k, k, p))
+        wq = rng.integers(0, 1 << bits, size=(cout, cin, k, k))
+        wrow = np.searchsorted(unique, seeds[cin * k * k :])
+        wp = table[wrow[:, None, None, None] % table.shape[0], wq]
+        wn = table[wrow[:, None, None, None] % table.shape[0], (wq + 3) % 32]
+        return table, act_rows, cols, wp, wn
+
+    def test_small_slab_budget_is_exact(self):
+        # Chunking must not change results: force many tiny slabs.
+        table, act_rows, cols, wp, wn = self._operands()
+        full = fused_conv_counts(
+            table, act_rows, cols, wp, wn, "pbw", slab_bytes=DEFAULT_SLAB_BYTES
+        )
+        tiny = fused_conv_counts(
+            table, act_rows, cols, wp, wn, "pbw", slab_bytes=1024
+        )
+        np.testing.assert_array_equal(full, tiny)
+
+    def test_counts_shape_and_dtype(self):
+        table, act_rows, cols, wp, wn = self._operands(n=2, cout=3, p=10)
+        out = fused_conv_counts(table, act_rows, cols, wp, wn, "sc")
+        assert out.shape == (2, 3, 10)
+        assert out.dtype == np.int64
+
+    def test_bad_cols_rank_rejected(self):
+        table, act_rows, cols, wp, wn = self._operands()
+        with pytest.raises(ShapeError):
+            fused_conv_counts(table, act_rows, cols[0], wp, wn, "sc")
+
+    def test_mismatched_weights_rejected(self):
+        table, act_rows, cols, wp, wn = self._operands()
+        with pytest.raises(ShapeError):
+            fused_conv_counts(table, act_rows, cols, wp[:, :1], wn, "sc")
+
+    def test_mismatched_act_rows_rejected(self):
+        table, act_rows, cols, wp, wn = self._operands()
+        with pytest.raises(ShapeError):
+            fused_conv_counts(table, act_rows[:1], cols, wp, wn, "sc")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_modes_parse_from_enum(self, mode):
+        table, act_rows, cols, wp, wn = self._operands()
+        a = fused_conv_counts(table, act_rows, cols, wp, wn, mode)
+        b = fused_conv_counts(
+            table, act_rows, cols, wp, wn, AccumulationMode.parse(mode)
+        )
+        np.testing.assert_array_equal(a, b)

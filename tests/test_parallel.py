@@ -1,0 +1,105 @@
+"""Tests for the shared worker pool (:mod:`repro.utils.parallel`)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.parallel import (
+    cpu_count,
+    get_pool,
+    iter_shards,
+    parallel_map,
+    resolve_workers,
+    shard_slices,
+    shutdown_pool,
+)
+
+
+class TestResolveWorkers:
+    def test_none_and_one_are_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) == cpu_count()
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(5) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-1)
+
+
+class TestShardSlices:
+    def test_covers_range_without_overlap(self):
+        for total, parts in [(10, 3), (7, 7), (5, 9), (1, 1), (64, 4)]:
+            slices = shard_slices(total, parts)
+            seen = []
+            for sl in slices:
+                seen.extend(range(sl.start, sl.stop))
+            assert seen == list(range(total))
+
+    def test_balanced(self):
+        sizes = [sl.stop - sl.start for sl in shard_slices(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_total(self):
+        assert shard_slices(0, 4) == []
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_slices(-1, 2)
+        with pytest.raises(ConfigurationError):
+            shard_slices(4, 0)
+
+    def test_iter_shards(self):
+        shards = list(iter_shards(list(range(7)), 3))
+        assert [len(s) for s in shards] == [3, 2, 2]
+        assert [x for s in shards for x in s] == list(range(7))
+
+
+class TestParallelMap:
+    def test_serial_matches_threaded(self):
+        jobs = list(range(20))
+        assert parallel_map(lambda v: v * v, jobs, 1) == parallel_map(
+            lambda v: v * v, jobs, 4
+        )
+
+    def test_preserves_order(self):
+        assert parallel_map(str, [3, 1, 2], 3) == ["3", "1", "2"]
+
+    def test_worker_exception_propagates(self):
+        def boom(v):
+            raise ValueError(f"job {v}")
+
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2], 2)
+
+    def test_threads_actually_used(self):
+        names = parallel_map(
+            lambda _: threading.current_thread().name, list(range(8)), 2
+        )
+        assert any(name.startswith("sc-kernel") for name in names)
+
+    def test_single_job_stays_serial(self):
+        name = parallel_map(
+            lambda _: threading.current_thread().name, [0], 8
+        )[0]
+        assert name == threading.current_thread().name
+
+
+class TestPool:
+    def test_pool_reused_and_grown(self):
+        shutdown_pool()
+        small = get_pool(2)
+        assert get_pool(2) is small
+        big = get_pool(4)
+        assert big is not small
+        assert get_pool(3) is big  # large enough already
+        shutdown_pool()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_pool(0)

@@ -203,3 +203,157 @@ class TestSCLinearSimulator:
             stream_length=64, stream_length_pooling=64, accumulation="fxp"
         )
         assert SCLinearSimulator(84, 10, cfg).binary_groups == 84
+
+
+class TestTableCacheLRU:
+    """Stream-table cache eviction (satellite: LRU + hit/miss stats)."""
+
+    def test_hit_and_miss_counters(self):
+        from repro.scnn.sim import table_cache_stats
+
+        src = LFSRSource(5)
+        assert table_cache_stats()["misses"] == 0
+        stream_table(src, 5, 32, np.array([1, 2]), False)
+        stats = table_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        stream_table(src, 5, 32, np.array([1, 2]), False)
+        stats = table_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        assert stats["size"] == 1
+
+    def test_nondeterministic_sources_bypass_cache(self):
+        from repro.sc.rng import TRNGSource
+        from repro.scnn.sim import table_cache_stats
+
+        src = TRNGSource(5, root_seed=9)
+        stream_table(src, 5, 32, np.array([1]), False)
+        stats = table_cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["size"] == 0
+
+    def test_lru_evicts_oldest_not_everything(self, monkeypatch):
+        from repro.scnn import sim as sim_module
+
+        monkeypatch.setattr(sim_module, "_TABLE_CACHE_LIMIT", 2)
+        src = LFSRSource(5)
+        a1, _ = stream_table(src, 5, 32, np.array([1]), False)
+        b1, _ = stream_table(src, 5, 32, np.array([2]), False)
+        # Touch A so B becomes least-recently-used.
+        a2, _ = stream_table(src, 5, 32, np.array([1]), False)
+        assert a2 is a1
+        # Inserting C must evict only B; A survives (the pre-fix code
+        # cleared the whole cache on overflow).
+        stream_table(src, 5, 32, np.array([3]), False)
+        a3, _ = stream_table(src, 5, 32, np.array([1]), False)
+        assert a3 is a1
+        b2, _ = stream_table(src, 5, 32, np.array([2]), False)
+        assert b2 is not b1
+        stats = sim_module.table_cache_stats()
+        assert stats["evictions"] >= 1
+        assert stats["size"] <= 2
+
+    def test_clear_resets_stats(self):
+        from repro.scnn.sim import table_cache_stats
+
+        src = LFSRSource(5)
+        stream_table(src, 5, 32, np.array([4]), False)
+        clear_table_cache()
+        stats = table_cache_stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "size": 0,
+            "capacity": stats["capacity"],
+        }
+
+
+class TestLinearGroupFolding:
+    """SCLinearSimulator folds the feature axis into a conv kernel;
+    these pin down that the folding preserves the per-feature streams."""
+
+    def test_fxp_full_groups_match_exact_dot(self):
+        # binary_groups == in_features puts every product in fixed
+        # point; the output must equal the dot product computed
+        # feature by feature straight from the stream tables.
+        from repro.sc.formats import quantize_unipolar
+        from repro.scnn.sim import _build_source
+        from repro.utils.bitops import popcount_packed
+
+        f, fout, n = 6, 3, 4
+        cfg = SCConfig(
+            stream_length=64, stream_length_pooling=64, accumulation="fxp"
+        )
+        sim = SCLinearSimulator(f, fout, cfg, binary_groups=f)
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(n, f)).astype(np.float32)
+        w = rng.uniform(-0.5, 0.5, size=(fout, f)).astype(np.float32)
+        y = sim(x, w)
+
+        conv = sim._conv
+        bits, length = conv.bits, conv.length
+        source = _build_source(conv.cfg, bits, conv.layer_index, 0)
+        all_seeds = np.concatenate(
+            [conv.plan.weight_seeds.ravel(), conv.plan.act_seeds.ravel()]
+        )
+        table, unique = stream_table(
+            source, bits, length, all_seeds, conv.cfg.progressive
+        )
+        act_seeds = np.broadcast_to(
+            conv.plan.act_seeds, (1, 1, f)
+        ).reshape(f)
+        w_seeds = np.broadcast_to(
+            conv.plan.weight_seeds, (fout, 1, 1, f)
+        ).reshape(fout, f)
+        qa = quantize_unipolar(x, bits)
+        wc = np.clip(w, -1.0, 1.0)
+        qp = quantize_unipolar(np.maximum(wc, 0.0), bits)
+        qn = quantize_unipolar(np.maximum(-wc, 0.0), bits)
+        sa = table[np.searchsorted(unique, act_seeds)[None, :], qa]
+        sp = table[np.searchsorted(unique, w_seeds), qp]
+        sn = table[np.searchsorted(unique, w_seeds), qn]
+        expected = np.empty((n, fout), dtype=np.float32)
+        for i in range(n):
+            for o in range(fout):
+                total = 0
+                for j in range(f):
+                    total += int(
+                        popcount_packed((sa[i, j] & sp[o, j])[None])[0]
+                    )
+                    total -= int(
+                        popcount_packed((sa[i, j] & sn[o, j])[None])[0]
+                    )
+                expected[i, o] = np.float32(total / length)
+        np.testing.assert_array_equal(y, expected)
+
+    def test_pbw_default_groups_equal_explicit(self):
+        # The default PBW group choice for 16 features is 8; asking for
+        # it explicitly must be bit-identical to the default.
+        cfg = SCConfig(
+            stream_length=64, stream_length_pooling=64, accumulation="pbw"
+        )
+        auto = SCLinearSimulator(16, 5, cfg)
+        assert auto.binary_groups == 8
+        explicit = SCLinearSimulator(16, 5, cfg, binary_groups=8)
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, size=(3, 16)).astype(np.float32)
+        w = rng.uniform(-0.5, 0.5, size=(5, 16)).astype(np.float32)
+        np.testing.assert_array_equal(auto(x, w), explicit(x, w))
+
+    def test_pbw_default_groups_equal_explicit_across_engines(self):
+        cfg = SCConfig(
+            stream_length=64, stream_length_pooling=64, accumulation="pbw"
+        )
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 1, size=(2, 12)).astype(np.float32)
+        w = rng.uniform(-0.5, 0.5, size=(4, 12)).astype(np.float32)
+        outs = []
+        for engine in ("fused", "reference"):
+            for groups in (None, 6):
+                sim = SCLinearSimulator(
+                    12, 4, cfg.with_(engine=engine), binary_groups=groups
+                )
+                assert sim.binary_groups == 6
+                outs.append(sim(x, w))
+        for other in outs[1:]:
+            np.testing.assert_array_equal(outs[0], other)

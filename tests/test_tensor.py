@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import GradientError
@@ -195,6 +195,11 @@ class TestGraphMechanics:
     def test_composite_expression_property(self, seed):
         rng = np.random.default_rng(seed)
         x = rng.uniform(0.2, 1.5, size=(3,))
+        # The relu input has a kink where x*x - x/2 = 0 (x = 0.5); a draw
+        # within the finite-difference step of it makes the numeric
+        # gradient straddle the kink and disagree with the (correct)
+        # one-sided autograd value.
+        assume(np.all(np.abs(x * x - x / 2.0) > 5e-3))
         check_gradient(
             lambda t: ((t * t - t / 2.0).relu() + t.exp() * 0.1).sum(), x
         )
