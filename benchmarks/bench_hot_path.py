@@ -22,11 +22,17 @@ repository root so future PRs can track the hot path.
 
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_hot_path.py
+    PYTHONPATH=src python benchmarks/bench_hot_path.py [--reps N] \
+        [--profile PATH]
 
 or through pytest (``pytest benchmarks/bench_hot_path.py``).
+``--profile`` exports the run's telemetry (``PATH.jsonl`` +
+``PATH.trace.json``, see :mod:`repro.obs`) and prints the span/counter
+summary tree, so a bench run records *where* the time goes, not just
+how much of it there is.
 """
 
+import argparse
 import json
 import math
 import platform
@@ -35,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.models.cnn4 import cnn4_sc
 from repro.scnn.config import SCConfig
 from repro.scnn.sim import clear_table_cache, table_cache_stats
@@ -140,6 +147,10 @@ def run_hot_path(reps: int = 5) -> dict:
             "fused_mt_vs_fused": geomean("fused_mt_vs_fused"),
         },
         "table_cache": table_cache_stats(),
+        "telemetry": {
+            "enabled": obs.enabled(),
+            "counters": obs.get_registry().counters(),
+        },
         "notes": (
             "'seed' is the pre-fused hot path (reference engine + byte-LUT "
             "popcount). Worker scaling (fused_mt) requires >1 CPU; on a "
@@ -196,7 +207,25 @@ def test_hot_path(once):
 
 
 if __name__ == "__main__":
-    result = run_hot_path()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reps", type=int, default=5,
+        help="best-of repetitions per (mode, arm) pair",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="export telemetry as PATH.jsonl + PATH.trace.json and "
+        "print the span/counter summary tree",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.profile:
+        obs.reset()
+    result = run_hot_path(reps=cli_args.reps)
     print(render(result))
     _write(result)
     print(f"wrote {OUTPUT}")
+    if cli_args.profile:
+        jsonl, trace = obs.export_profile(cli_args.profile)
+        print()
+        print(obs.summary_tree())
+        print(f"wrote {jsonl} and {trace}")

@@ -6,11 +6,17 @@ the per-layer cycle breakdown (generation, stalls, near-memory work), the
 area and energy breakdowns by Fig. 6 component, and the headline
 throughput/efficiency numbers next to the paper's Tables II/III values.
 
+The run is instrumented through the telemetry layer (:mod:`repro.obs`):
+the performance simulator emits spans and per-layer profile records, and
+the script ends with the span/counter summary tree. ``--profile PATH``
+additionally writes ``PATH.jsonl`` + ``PATH.trace.json``.
+
 Run: ``python examples/accelerator_profile.py [--network cnn4] [--arch ulp]``
 """
 
 import argparse
 
+from repro import obs
 from repro.arch import (
     ACOUSTIC_ULP,
     GEO_LP,
@@ -36,12 +42,20 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--network", default="cnn4", choices=sorted(NETWORK_SHAPES))
     parser.add_argument("--arch", default="ulp", choices=sorted(ARCHS))
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="export telemetry as PATH.jsonl + PATH.trace.json",
+    )
     args = parser.parse_args()
 
+    obs.reset()
     layers = NETWORK_SHAPES[args.network](28 if args.network == "lenet5" else 32)
     arch, streams = ARCHS[args.arch]
-    report = simulate(layers, arch, streams)
-    programs = compile_network(layers, arch, streams)
+    with obs.span(
+        "example.accelerator_profile", network=args.network, arch=args.arch
+    ):
+        report = simulate(layers, arch, streams)
+        programs = compile_network(layers, arch, streams)
 
     print(f"{arch.name}: {arch.rows} rows x {arch.row_width} products = "
           f"{arch.total_macs / 1e3:.1f}K MACs, {arch.total_memory_kb} KB on-chip, "
@@ -93,6 +107,12 @@ def main() -> None:
         "Paper reference points (Table II): GEO ULP-32,64 on CIFAR-10 CNN-4 "
         "= 14k Fr/s, 305k Fr/J, 48 mW, 0.58 mm2."
     )
+
+    print("\nTelemetry (repro.obs):")
+    print(obs.summary_tree())
+    if args.profile:
+        jsonl, trace = obs.export_profile(args.profile)
+        print(f"wrote {jsonl} and {trace}")
 
 
 if __name__ == "__main__":

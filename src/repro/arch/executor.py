@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.arch.geo import GeoArchConfig
 from repro.arch.isa import Instruction, Opcode
 from repro.errors import SimulationError
@@ -48,6 +49,16 @@ class MachineState:
     pool_window: int = 1
     halted: bool = False
     trace: list[TraceEvent] = field(default_factory=list)
+    #: Cycles attributed to each instruction class (opcode name), over
+    #: the *executed* (loop-expanded) program. Sums to the total trace
+    #: cycles; the timeline ``cycle`` differs only by the LD_SHADOW
+    #: cycles that overlap generation for free.
+    cycle_histogram: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def trace_cycles(self) -> int:
+        """Total executed-instruction cycles (no overlap discounts)."""
+        return sum(self.cycle_histogram.values())
 
 
 class Executor:
@@ -65,22 +76,46 @@ class Executor:
 
     def run(self, program: list[Instruction]) -> MachineState:
         state = MachineState()
-        expanded = self._expand_loops(program)
-        for index, inst in enumerate(expanded):
-            if state.halted:
-                raise SimulationError(
-                    f"instruction {index} ({inst.opcode.name}) after HALT"
+        with obs.span(
+            "arch.executor.run", instructions=len(program)
+        ) as sp:
+            expanded = self._expand_loops(program)
+            hist = state.cycle_histogram
+            for index, inst in enumerate(expanded):
+                if state.halted:
+                    raise SimulationError(
+                        f"instruction {index} ({inst.opcode.name}) after HALT"
+                    )
+                cycles = inst.cycles()
+                self._apply(state, inst, cycles)
+                name = inst.opcode.name
+                hist[name] = hist.get(name, 0) + cycles
+                state.trace.append(
+                    TraceEvent(index, inst, state.cycle, cycles)
                 )
-            cycles = inst.cycles()
-            self._apply(state, inst, cycles)
-            state.trace.append(
-                TraceEvent(index, inst, state.cycle, cycles)
+                state.cycle += cycles
+                if state.cycle > self.max_cycles:
+                    raise SimulationError(
+                        f"program exceeded {self.max_cycles} cycles"
+                    )
+        reg = obs.get_registry()
+        if reg.enabled:
+            # Instruction-class cycle mix, aggregated once per program so
+            # the per-instruction loop stays counter-free.
+            for name, cycles in state.cycle_histogram.items():
+                reg.counter(f"executor.cycles.{name}", unit="cycles").add(
+                    cycles
+                )
+            reg.counter("executor.instructions").add(len(state.trace))
+            reg.add_profile(
+                {
+                    "kind": "executor_run",
+                    "instructions": len(state.trace),
+                    "cycle": state.cycle,
+                    "cycle_histogram": dict(state.cycle_histogram),
+                    "wall_s": sp.wall_s,
+                }
             )
-            state.cycle += cycles
-            if state.cycle > self.max_cycles:
-                raise SimulationError(
-                    f"program exceeded {self.max_cycles} cycles"
-                )
         return state
 
     # -- internals ----------------------------------------------------------

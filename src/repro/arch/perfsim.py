@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.arch.blocks import AcceleratorBlocks, build_blocks
 from repro.arch.compiler import LayerProgram, compile_network
 from repro.arch.geo import GeoArchConfig
@@ -165,25 +166,29 @@ def simulate(
 ) -> PerfReport:
     """Simulate one inference of ``layers`` on ``arch`` with streams
     ``cfg``. Returns the full performance report."""
-    blocks = build_blocks(arch)
-    timing = timing_report(arch)
-    # The paper operates at 0.81 V with margin even though the recovered
-    # slack would allow less; respect the configured operating point.
-    vdd = max(timing.vdd, arch.vdd) if arch.pipelined else arch.vdd
-    programs = compile_network(layers, arch, cfg)
+    reg = obs.get_registry()
+    with reg.span(
+        "arch.perfsim.simulate", arch=arch.name, layers=len(layers)
+    ):
+        blocks = build_blocks(arch)
+        timing = timing_report(arch)
+        # The paper operates at 0.81 V with margin even though the recovered
+        # slack would allow less; respect the configured operating point.
+        vdd = max(timing.vdd, arch.vdd) if arch.pipelined else arch.vdd
+        with reg.span("arch.perfsim.compile"):
+            programs = compile_network(layers, arch, cfg)
 
-    layer_reports: list[LayerPerf] = []
-    for program in programs:
-        cycles = program.total_cycles
-        if arch.external_memory is not None and program.external_bytes:
-            transfer = arch.external_memory.transfer_cycles(
-                program.external_bytes, arch.clock_mhz
-            )
-            # Ping-pong weight banks hide the transfer under compute;
-            # only the excess shows up as stall.
-            cycles += int(max(0.0, transfer - program.compute_cycles))
-        layer_reports.append(
-            LayerPerf(
+        layer_reports: list[LayerPerf] = []
+        for program in programs:
+            cycles = program.total_cycles
+            if arch.external_memory is not None and program.external_bytes:
+                transfer = arch.external_memory.transfer_cycles(
+                    program.external_bytes, arch.clock_mhz
+                )
+                # Ping-pong weight banks hide the transfer under compute;
+                # only the excess shows up as stall.
+                cycles += int(max(0.0, transfer - program.compute_cycles))
+            perf = LayerPerf(
                 name=program.layer.name,
                 cycles=cycles,
                 generation_cycles=program.generation_cycles,
@@ -191,7 +196,24 @@ def simulate(
                 nm_cycles=program.nm_acc_cycles + program.nm_bn_cycles,
                 energy_pj=_layer_energy(program, arch, blocks, vdd),
             )
-        )
+            layer_reports.append(perf)
+            if reg.enabled:
+                reg.counter("perfsim.layers").add(1)
+                reg.counter("perfsim.cycles", unit="cycles").add(perf.cycles)
+                reg.add_profile(
+                    {
+                        "kind": "perf_layer",
+                        "arch": arch.name,
+                        "name": perf.name,
+                        "cycles": perf.cycles,
+                        "generation_cycles": perf.generation_cycles,
+                        "stall_cycles": perf.stall_cycles,
+                        "nm_cycles": perf.nm_cycles,
+                        "energy_pj": perf.total_energy_pj,
+                        "utilization": program.utilization,
+                        "instructions": len(program.instructions),
+                    }
+                )
 
     return PerfReport(
         arch_name=arch.name,

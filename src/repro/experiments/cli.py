@@ -1,6 +1,10 @@
 """Command-line entry point: ``geo-repro <experiment> [--scale quick]``.
 
 Runs one experiment harness and prints its paper-vs-measured report.
+``--profile PATH`` additionally records the run's telemetry
+(:mod:`repro.obs`) and writes ``PATH.jsonl`` + ``PATH.trace.json``
+(the latter loads in ``chrome://tracing`` / Perfetto), followed by the
+span/counter summary tree on stdout.
 Also exposed as ``python -m repro.experiments``.
 """
 
@@ -8,6 +12,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+from repro import obs
 
 from repro.experiments.ablations import (
     bn_gain_claim,
@@ -94,14 +100,31 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also dump the figure/table data as CSV into this directory",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="record telemetry and write PATH.jsonl + PATH.trace.json "
+        "(Chrome trace), then print the span/counter summary",
+    )
     args = parser.parse_args(argv)
 
-    if args.experiment == "all":
-        for name in EXPERIMENTS[:-1]:
-            print(f"\n===== {name} =====")
-            _run(name, args.scale, args.csv_dir)
-    else:
-        _run(args.experiment, args.scale, args.csv_dir)
+    if args.profile:
+        obs.reset()  # profile this invocation only, not import-time noise
+
+    with obs.span("cli.run", experiment=args.experiment, scale=args.scale):
+        if args.experiment == "all":
+            for name in EXPERIMENTS[:-1]:
+                print(f"\n===== {name} =====")
+                _run(name, args.scale, args.csv_dir)
+        else:
+            _run(args.experiment, args.scale, args.csv_dir)
+
+    if args.profile:
+        jsonl, trace = obs.export_profile(args.profile)
+        print()
+        print(obs.summary_tree())
+        print(f"wrote {jsonl} and {trace}")
     return 0
 
 

@@ -1,0 +1,64 @@
+"""Lightweight always-on telemetry: spans, counters, gauges, profiles.
+
+Usage::
+
+    from repro import obs
+
+    with obs.span("train.epoch", epoch=3):
+        ...
+    obs.counter("sc.kernels.bit_ops").add(n_bits)
+    obs.add_profile({"kind": "layer_forward", ...})
+
+    print(obs.summary_tree())
+    obs.export_profile("out/run1")   # run1.jsonl + run1.trace.json
+
+Set ``REPRO_OBS=0`` (or call :func:`set_enabled`) to disable: spans
+become a shared no-op, profiles are dropped, and instrumented hot paths
+skip their counter updates. See :mod:`repro.obs.core` for the contract.
+"""
+
+from repro.obs.core import (
+    Counter,
+    Gauge,
+    NOOP_SPAN,
+    Registry,
+    SpanRecord,
+    add_profile,
+    counter,
+    enabled,
+    enabled_scope,
+    gauge,
+    get_registry,
+    reset,
+    set_enabled,
+    span,
+)
+from repro.obs.export import (
+    export_profile,
+    read_jsonl,
+    summary_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "NOOP_SPAN",
+    "Registry",
+    "SpanRecord",
+    "add_profile",
+    "counter",
+    "enabled",
+    "enabled_scope",
+    "export_profile",
+    "gauge",
+    "get_registry",
+    "read_jsonl",
+    "reset",
+    "set_enabled",
+    "span",
+    "summary_tree",
+    "write_chrome_trace",
+    "write_jsonl",
+]

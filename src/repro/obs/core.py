@@ -1,0 +1,396 @@
+"""Telemetry primitives: spans, counters, gauges, per-layer profiles.
+
+One module-level :class:`Registry` collects everything the simulators,
+kernels, training loop, and performance model emit:
+
+* **Spans** — nestable context-manager timers recording wall *and*
+  per-thread CPU time. Nesting is tracked per thread (a span opened in a
+  worker thread roots its own stack), so traces from ``parallel_map``
+  shards interleave without corrupting the caller's stack.
+* **Counters** — monotonic totals (bit-ops executed, popcount words,
+  cache hits, pool tasks). Counter objects are live even when telemetry
+  is disabled: they are plain lock-protected adds, and the backward
+  compatible :func:`repro.scnn.sim.table_cache_stats` is built on them.
+  Instrumentation *sites* on hot paths still gate their updates on
+  :func:`enabled` so the disabled mode stays an overhead-free path.
+* **Gauges** — last-value-wins measurements with a running max
+  (pool utilization, shard imbalance, resident cache bytes).
+* **Profiles** — free-form per-layer/per-epoch record dicts (shape,
+  mode, stream length, bytes touched, timings) appended by the
+  simulators; dropped entirely in disabled mode.
+
+Disabled-mode contract (``REPRO_OBS=0`` in the environment, or
+:func:`set_enabled` / :func:`enabled_scope`): :func:`span` returns a
+shared module-level no-op span, :func:`add_profile` discards its record,
+and instrumented call sites skip their counter arithmetic — the hot path
+runs the same ufunc sequence it would without telemetry.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Registry",
+    "SpanRecord",
+    "add_profile",
+    "counter",
+    "enabled",
+    "enabled_scope",
+    "gauge",
+    "get_registry",
+    "reset",
+    "set_enabled",
+    "span",
+]
+
+#: Environment switch: ``REPRO_OBS=0`` starts the process disabled.
+ENV_FLAG = "REPRO_OBS"
+
+#: Completed-span retention cap; overflow increments ``dropped_spans``
+#: instead of growing without bound during long training runs.
+MAX_SPANS = 200_000
+
+#: Profile-record retention cap (same rationale).
+MAX_PROFILES = 50_000
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_FLAG, "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+class Counter:
+    """Monotonic telemetry total (int or float amounts)."""
+
+    __slots__ = ("name", "unit", "_value", "_lock")
+
+    def __init__(self, name: str, unit: str = "count"):
+        self.name = name
+        self.unit = unit
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value} {self.unit})"
+
+
+class Gauge:
+    """Last-value-wins measurement with a running maximum."""
+
+    __slots__ = ("name", "unit", "_value", "_max", "_lock")
+
+    def __init__(self, name: str, unit: str = "value"):
+        self.name = name
+        self.unit = unit
+        self._value = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    @property
+    def max(self) -> int | float:
+        return self._max
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+            self._max = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self._value} {self.unit})"
+
+
+@dataclass
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    path: str  # "/"-joined chain of enclosing span names (this one last)
+    start_s: float  # seconds since the registry epoch
+    wall_s: float
+    cpu_s: float  # per-thread CPU time (time.thread_time)
+    depth: int
+    thread: str
+    attrs: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "path": self.path,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "depth": self.depth,
+            "thread": self.thread,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """Active span: context manager pushing onto the thread's stack."""
+
+    __slots__ = ("_registry", "name", "attrs", "_t0", "_c0", "path",
+                 "depth", "wall_s", "cpu_s")
+
+    def __init__(self, registry: "Registry", name: str, attrs: dict):
+        self._registry = registry
+        self.name = name
+        self.attrs = attrs
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self._registry._stack()
+        parent_path = stack[-1].path if stack else ""
+        self.path = f"{parent_path}/{self.name}" if parent_path else self.name
+        self.depth = len(stack)
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        self._c0 = time.thread_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.thread_time() - self._c0
+        stack = self._registry._stack()
+        # Exception-safe unwind: remove *this* span even if an inner
+        # span leaked (e.g. a generator abandoned mid-iteration).
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # pragma: no cover - defensive unwind
+            stack.remove(self)
+        self._registry._record_span(
+            SpanRecord(
+                name=self.name,
+                path=self.path,
+                start_s=self._t0 - self._registry.epoch_perf,
+                wall_s=self.wall_s,
+                cpu_s=self.cpu_s,
+                depth=self.depth,
+                thread=threading.current_thread().name,
+                attrs=self.attrs,
+                error=None if exc_type is None else exc_type.__name__,
+            )
+        )
+        return False
+
+
+class Registry:
+    """Process-wide telemetry store (one module-level instance)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self.spans: list[SpanRecord] = []
+        self.profiles: list[dict] = []
+        self.dropped_spans = 0
+        self.dropped_profiles = 0
+        self._local = threading.local()
+        self.epoch_perf = time.perf_counter()
+        self.epoch_wall = time.time()
+
+    # -- spans ---------------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs):
+        """Context-manager timer; no-op singleton when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def _record_span(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self.spans) >= MAX_SPANS:
+                self.dropped_spans += 1
+            else:
+                self.spans.append(record)
+
+    # -- counters / gauges ---------------------------------------------------
+
+    def counter(self, name: str, unit: str = "count") -> Counter:
+        """Get-or-create a live counter (live even when disabled)."""
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name, unit)
+            return c
+
+    def gauge(self, name: str, unit: str = "value") -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name, unit)
+            return g
+
+    def counters(self) -> dict[str, int | float]:
+        """Plain ``name -> value`` snapshot of every counter."""
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()}
+
+    def gauges(self) -> dict[str, dict]:
+        with self._lock:
+            return {
+                name: {"value": g.value, "max": g.max, "unit": g.unit}
+                for name, g in self._gauges.items()
+            }
+
+    # -- profiles ------------------------------------------------------------
+
+    def add_profile(self, record: dict) -> None:
+        """Append a per-layer/per-epoch profile dict (dropped when
+        disabled — the disabled-mode contract is 'profile absent')."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if len(self.profiles) >= MAX_PROFILES:
+                self.dropped_profiles += 1
+            else:
+                self.profiles.append(record)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear spans/profiles and zero every counter and gauge *in
+        place* (modules hold references to their counters)."""
+        with self._lock:
+            self.spans.clear()
+            self.profiles.clear()
+            self.dropped_spans = 0
+            self.dropped_profiles = 0
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+        for c in counters:
+            c.reset()
+        for g in gauges:
+            g.reset()
+        self.epoch_perf = time.perf_counter()
+        self.epoch_wall = time.time()
+
+    def snapshot(self) -> dict:
+        """Everything the exporters serialize, as plain data."""
+        with self._lock:
+            spans = [s.to_dict() for s in self.spans]
+            profiles = [dict(p) for p in self.profiles]
+        return {
+            "meta": {
+                "enabled": self.enabled,
+                "epoch_wall": self.epoch_wall,
+                "dropped_spans": self.dropped_spans,
+                "dropped_profiles": self.dropped_profiles,
+            },
+            "counters": {
+                name: {"value": c.value, "unit": c.unit}
+                for name, c in dict(self._counters).items()
+            },
+            "gauges": self.gauges(),
+            "spans": spans,
+            "profiles": profiles,
+        }
+
+
+_REGISTRY = Registry(enabled=_env_enabled())
+
+
+def get_registry() -> Registry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    """Whether spans/profiles are being recorded."""
+    return _REGISTRY.enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Enable/disable telemetry at runtime (overrides ``REPRO_OBS``)."""
+    _REGISTRY.enabled = bool(flag)
+
+
+@contextmanager
+def enabled_scope(flag: bool):
+    """Temporarily force telemetry on/off (tests, overhead checks)."""
+    saved = _REGISTRY.enabled
+    _REGISTRY.enabled = bool(flag)
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY.enabled = saved
+
+
+def span(name: str, **attrs):
+    return _REGISTRY.span(name, **attrs)
+
+
+def counter(name: str, unit: str = "count") -> Counter:
+    return _REGISTRY.counter(name, unit)
+
+
+def gauge(name: str, unit: str = "value") -> Gauge:
+    return _REGISTRY.gauge(name, unit)
+
+
+def add_profile(record: dict) -> None:
+    _REGISTRY.add_profile(record)
+
+
+def reset() -> None:
+    _REGISTRY.reset()

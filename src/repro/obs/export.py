@@ -1,0 +1,219 @@
+"""Telemetry exporters: JSONL, Chrome trace, and a summary tree.
+
+Three views of one :class:`~repro.obs.core.Registry` snapshot:
+
+* :func:`write_jsonl` — one self-describing JSON object per line
+  (``meta`` / ``counter`` / ``gauge`` / ``span`` / ``profile``), the
+  machine-readable artifact CI uploads and sweeps post-process.
+* :func:`write_chrome_trace` — a ``chrome://tracing`` / Perfetto
+  compatible trace (``X`` complete events per span, ``C`` counter
+  events at the end), for eyeballing where a forward pass spends time.
+* :func:`summary_tree` — a plain-text aggregation of spans by nesting
+  path with call counts and wall/CPU totals, followed by the counters
+  and gauges; what ``--profile`` runs print to the terminal.
+
+:func:`export_profile` bundles the two file formats under one base path
+(``<base>.jsonl`` + ``<base>.trace.json``) — the ``--profile PATH``
+flags of the experiments CLI and the hot-path benchmark call it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.core import Registry, get_registry
+
+__all__ = [
+    "export_profile",
+    "read_jsonl",
+    "summary_tree",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _snapshot(registry: Registry | None) -> dict:
+    return (registry or get_registry()).snapshot()
+
+
+def write_jsonl(path: str | Path, registry: Registry | None = None) -> Path:
+    """Write the registry snapshot as JSON-lines; returns the path."""
+    snap = _snapshot(registry)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        fh.write(json.dumps({"type": "meta", **snap["meta"]}) + "\n")
+        for name, c in sorted(snap["counters"].items()):
+            fh.write(
+                json.dumps({"type": "counter", "name": name, **c}) + "\n"
+            )
+        for name, g in sorted(snap["gauges"].items()):
+            fh.write(json.dumps({"type": "gauge", "name": name, **g}) + "\n")
+        for record in snap["spans"]:
+            fh.write(json.dumps({"type": "span", **record}) + "\n")
+        for record in snap["profiles"]:
+            fh.write(json.dumps({"type": "profile", **record}) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> dict[str, list[dict]]:
+    """Parse a :func:`write_jsonl` file back into records-by-type."""
+    grouped: dict[str, list[dict]] = {
+        "meta": [], "counter": [], "gauge": [], "span": [], "profile": [],
+    }
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            grouped.setdefault(record.pop("type"), []).append(record)
+    return grouped
+
+
+def write_chrome_trace(
+    path: str | Path, registry: Registry | None = None
+) -> Path:
+    """Write a ``chrome://tracing``-loadable trace; returns the path.
+
+    Spans become ``ph: "X"`` complete events (microsecond timestamps
+    relative to the registry epoch, one ``tid`` per thread name);
+    counters land as a single ``ph: "C"`` sample at the trace end so the
+    totals are visible on the timeline.
+    """
+    snap = _snapshot(registry)
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    end_ts = 0.0
+    for record in snap["spans"]:
+        tid = tids.setdefault(record["thread"], len(tids))
+        ts = record["start_s"] * 1e6
+        dur = record["wall_s"] * 1e6
+        end_ts = max(end_ts, ts + dur)
+        event = {
+            "name": record["name"],
+            "cat": "span",
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": 0,
+            "tid": tid,
+            "args": {
+                **record.get("attrs", {}),
+                "cpu_s": record["cpu_s"],
+                "path": record["path"],
+            },
+        }
+        if record.get("error"):
+            event["args"]["error"] = record["error"]
+        events.append(event)
+    for name, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for name, c in sorted(snap["counters"].items()):
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": end_ts,
+                "pid": 0,
+                "args": {name.rsplit(".", 1)[-1]: c["value"]},
+            }
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+    )
+    return path
+
+
+def export_profile(
+    base: str | Path, registry: Registry | None = None
+) -> tuple[Path, Path]:
+    """Write ``<base>.jsonl`` + ``<base>.trace.json`` for one run."""
+    base = Path(base)
+    if base.suffix in (".jsonl", ".json"):
+        base = base.with_suffix("")
+    jsonl = write_jsonl(base.with_suffix(".jsonl"), registry)
+    trace = write_chrome_trace(base.with_suffix(".trace.json"), registry)
+    return jsonl, trace
+
+
+def _format_amount(value: int | float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    value = int(value)
+    if value >= 10_000_000:
+        return f"{value / 1e6:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1e3:.1f}k"
+    return str(value)
+
+
+def summary_tree(registry: Registry | None = None) -> str:
+    """Aggregate spans by nesting path into an indented text tree."""
+    snap = _snapshot(registry)
+    # Aggregate by full path so repeated spans (batches, layers) fold
+    # into one line with a call count.
+    order: list[str] = []
+    agg: dict[str, dict] = {}
+    for record in snap["spans"]:
+        path = record["path"]
+        if path not in agg:
+            agg[path] = {"calls": 0, "wall": 0.0, "cpu": 0.0,
+                         "name": record["name"], "errors": 0}
+            order.append(path)
+        entry = agg[path]
+        entry["calls"] += 1
+        entry["wall"] += record["wall_s"]
+        entry["cpu"] += record["cpu_s"]
+        if record.get("error"):
+            entry["errors"] += 1
+    # Parents first: sort by path component chain, keeping first-seen
+    # order among siblings.
+    rank = {path: i for i, path in enumerate(order)}
+    ordered = sorted(
+        agg, key=lambda p: tuple(rank.get("/".join(p.split("/")[:i + 1]), 0)
+                                 for i in range(p.count("/") + 1))
+    )
+    lines = ["spans (calls, wall, cpu):"]
+    if not ordered:
+        lines.append("  (none recorded)")
+    for path in ordered:
+        entry = agg[path]
+        depth = path.count("/")
+        err = f" errors={entry['errors']}" if entry["errors"] else ""
+        lines.append(
+            f"  {'  ' * depth}{entry['name']:<28s} x{entry['calls']:<6d} "
+            f"{entry['wall'] * 1e3:10.2f} ms {entry['cpu'] * 1e3:10.2f} ms"
+            f"{err}"
+        )
+    counters = snap["counters"]
+    lines.append("counters:")
+    if not counters:
+        lines.append("  (none)")
+    for name, c in sorted(counters.items()):
+        lines.append(f"  {name:<36s} {_format_amount(c['value']):>12s} "
+                     f"{c['unit']}")
+    gauges = snap["gauges"]
+    if gauges:
+        lines.append("gauges (last / max):")
+        for name, g in sorted(gauges.items()):
+            lines.append(
+                f"  {name:<36s} {_format_amount(g['value']):>12s} /"
+                f" {_format_amount(g['max'])} {g['unit']}"
+            )
+    if snap["profiles"]:
+        lines.append(f"profiles: {len(snap['profiles'])} records "
+                     "(see the JSONL export)")
+    return "\n".join(lines)

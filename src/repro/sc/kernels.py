@@ -44,6 +44,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
+from repro.obs import get_registry
 from repro.sc.accumulate import AccumulationMode
 from repro.utils.bitops import popcount_packed
 from repro.utils.parallel import parallel_map, resolve_workers, shard_slices
@@ -255,6 +256,36 @@ def _grouped_counts(
                 )
 
 
+def _count_kernel_ops(
+    mode: AccumulationMode, n: int, m: int, p: int, g: int, s: int,
+    words: int, fastpath: bool = False,
+) -> None:
+    """Record the op mix of one fused call on the telemetry registry.
+
+    Word totals are computed arithmetically from the shard geometry
+    (``AND`` over every ``(N, M, P, G, S)`` product word, ``S - 1`` ORs
+    per group merge, one popcount word per merged group word), so the
+    accounting adds nothing to the inner loops. ``bit_ops`` is the
+    64-bit-word total scaled to single bit operations.
+    """
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    and_words = n * m * p * g * s * words
+    or_words = n * m * p * g * (s - 1) * words
+    popcount_words = n * m * p * g * words
+    reg.counter("sc.kernels.calls").add(1)
+    reg.counter(f"sc.kernels.mode.{mode.value}").add(1)
+    reg.counter("sc.kernels.and_words", unit="words").add(and_words)
+    reg.counter("sc.kernels.or_words", unit="words").add(or_words)
+    reg.counter("sc.kernels.popcount_words", unit="words").add(popcount_words)
+    reg.counter("sc.kernels.bit_ops", unit="bits").add(
+        64 * (and_words + or_words + popcount_words)
+    )
+    if fastpath:
+        reg.counter("sc.kernels.fxp_fastpath").add(1)
+
+
 def _shard_spans(
     p: int, m: int, workers: int
 ) -> list[tuple[slice, slice]]:
@@ -333,9 +364,16 @@ def fused_conv_counts(
             table, rows_flat, cols_flat, wp, wn, workers, slab_bytes
         )
         if signed is not None:
+            # Single stacked magnitude channel: M = Cout, K singleton groups.
+            _count_kernel_ops(
+                mode, n, cout, p, k, 1, words, fastpath=True
+            )
             return signed
 
     group_k, identity = group_structure(mode, cin, kh, kw)
+    _count_kernel_ops(
+        mode, n, 2 * cout, p, group_k.shape[0], group_k.shape[1], words
+    )
     pad = bool(k % 2) if mode is AccumulationMode.APC else False
     wstack = np.concatenate(
         [wp.reshape(cout, k, words), wn.reshape(cout, k, words)], axis=0

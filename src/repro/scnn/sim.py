@@ -28,6 +28,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, ShapeError
 from repro.nn.functional import conv_output_size, im2col
 from repro.sc.accumulate import AccumulationMode
@@ -43,25 +44,44 @@ from repro.utils.seeding import derive_seed
 # LRU cache of deterministic stream tables: hits move the entry to the
 # MRU end; overflow evicts only the LRU entry (the old behaviour dropped
 # the whole cache, flushing every other layer's table on the 257th
-# distinct key). Hit/miss counters feed the hot-path benchmark report.
+# distinct key). The hit/miss/eviction counters live on the telemetry
+# registry (`repro.obs`) — these counters stay live even with telemetry
+# disabled, so `table_cache_stats()` keeps working under REPRO_OBS=0.
 _TABLE_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
 _TABLE_CACHE_LIMIT = 256
-_TABLE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+_TABLE_CACHE_BYTES = 0  # resident payload bytes, mirrored to the gauge
+
+_CACHE_HITS = obs.counter("scnn.table_cache.hits")
+_CACHE_MISSES = obs.counter("scnn.table_cache.misses")
+_CACHE_EVICTIONS = obs.counter("scnn.table_cache.evictions")
+_CACHE_BYTES_GAUGE = obs.gauge("scnn.table_cache.bytes", unit="bytes")
 
 
 def clear_table_cache() -> None:
     """Drop cached LFSR stream tables and reset the hit/miss counters
-    (tests / memory pressure)."""
+    (tests / memory pressure). Thin wrapper over the `repro.obs`
+    counter registry, kept for backward compatibility."""
+    global _TABLE_CACHE_BYTES
     _TABLE_CACHE.clear()
-    _TABLE_CACHE_STATS.update(hits=0, misses=0, evictions=0)
+    _TABLE_CACHE_BYTES = 0
+    _CACHE_HITS.reset()
+    _CACHE_MISSES.reset()
+    _CACHE_EVICTIONS.reset()
+    _CACHE_BYTES_GAUGE.reset()
 
 
 def table_cache_stats() -> dict[str, int]:
-    """Current stream-table cache counters (cacheable lookups only)."""
+    """Current stream-table cache counters (cacheable lookups only).
+
+    Thin wrapper over the `repro.obs` counter registry; ``bytes`` is
+    the resident payload size of every cached table."""
     return {
-        **_TABLE_CACHE_STATS,
+        "hits": int(_CACHE_HITS.value),
+        "misses": int(_CACHE_MISSES.value),
+        "evictions": int(_CACHE_EVICTIONS.value),
         "size": len(_TABLE_CACHE),
         "capacity": _TABLE_CACHE_LIMIT,
+        "bytes": _TABLE_CACHE_BYTES,
     }
 
 
@@ -95,6 +115,7 @@ def stream_table(
     ``(num_unique_seeds, 2**bits, words)`` and ``index_of`` maps a raw seed
     array to a row index via ``np.searchsorted`` order.
     """
+    global _TABLE_CACHE_BYTES
     unique = np.unique(seeds.ravel())
     alphabet = np.arange(1 << bits, dtype=np.int64)
     cache_key = None
@@ -109,19 +130,25 @@ def stream_table(
         cached = _TABLE_CACHE.get(cache_key)
         if cached is not None:
             _TABLE_CACHE.move_to_end(cache_key)
-            _TABLE_CACHE_STATS["hits"] += 1
+            _CACHE_HITS.add(1)
             return cached, unique
-        _TABLE_CACHE_STATS["misses"] += 1
-    generator = _make_generator(source, bits, progressive)
-    targets = np.broadcast_to(alphabet, (unique.size, alphabet.size))
-    seed_grid = np.broadcast_to(unique[:, None], targets.shape)
-    batch = generator.generate(targets, seed_grid, length)
-    table = batch.packed  # (U, 2**bits, words)
+        _CACHE_MISSES.add(1)
+    with obs.span(
+        "sc.table_build", bits=bits, length=length, seeds=int(unique.size)
+    ):
+        generator = _make_generator(source, bits, progressive)
+        targets = np.broadcast_to(alphabet, (unique.size, alphabet.size))
+        seed_grid = np.broadcast_to(unique[:, None], targets.shape)
+        batch = generator.generate(targets, seed_grid, length)
+        table = batch.packed  # (U, 2**bits, words)
     if cache_key is not None:
         while len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
-            _TABLE_CACHE.popitem(last=False)
-            _TABLE_CACHE_STATS["evictions"] += 1
+            _, evicted = _TABLE_CACHE.popitem(last=False)
+            _TABLE_CACHE_BYTES -= evicted.nbytes
+            _CACHE_EVICTIONS.add(1)
         _TABLE_CACHE[cache_key] = table
+        _TABLE_CACHE_BYTES += table.nbytes
+        _CACHE_BYTES_GAUGE.set(_TABLE_CACHE_BYTES)
     return table, unique
 
 
@@ -257,65 +284,102 @@ class SCConvSimulator:
         source = _build_source(self.cfg, self.bits, self.layer_index, self._call_index)
         self._call_index += 1
 
-        q_act_full = quantize_unipolar(x, self.bits)
-        w_clipped = np.clip(weight, -1.0, 1.0)
-        q_wpos = quantize_unipolar(np.maximum(w_clipped, 0.0), self.bits)
-        q_wneg = quantize_unipolar(np.maximum(-w_clipped, 0.0), self.bits)
-
-        # One table serves both operand kinds: the plan's seed pools are
-        # disjoint, and the table is indexed by raw seed.
-        all_seeds = np.concatenate(
-            [self.plan.weight_seeds.ravel(), self.plan.act_seeds.ravel()]
-        )
-        table, unique = stream_table(
-            source, self.bits, self.length, all_seeds, self.cfg.progressive
-        )
-        wp = _lookup(table, unique, self.plan.weight_seeds, q_wpos)
-        wn = _lookup(table, unique, self.plan.weight_seeds, q_wneg)
-
-        n = x.shape[0]
-        oh = conv_output_size(x.shape[2], kh, self.stride, self.padding)
-        ow = conv_output_size(x.shape[3], kw, self.stride, self.padding)
-        out = np.empty((n, cout, oh, ow), dtype=np.float32)
-
-        act_seed_idx = np.searchsorted(unique, self.plan.act_seeds)
+        reg = obs.get_registry()
         mode = self.cfg.accumulation
-        fused = self.cfg.engine == "fused"
-        chunk = max(1, self.cfg.batch_chunk)
-        for start in range(0, n, chunk):
-            xs = q_act_full[start : start + chunk]
-            cols = im2col(
-                xs.astype(np.float32), kh, kw, self.stride, self.padding
-            ).astype(np.int64)
-            # cols: (nc, Cin, KH, KW, OH, OW)
-            if fused:
-                nc = cols.shape[0]
-                signed = fused_conv_counts(
-                    table,
-                    act_seed_idx,
-                    cols.reshape(nc, cin, kh, kw, oh * ow),
-                    wp,
-                    wn,
-                    mode,
-                    num_workers=self.cfg.num_workers,
-                )  # (nc, Cout, OH*OW)
-                out[start : start + chunk] = (
-                    (signed / self.length)
-                    .astype(np.float32)
-                    .reshape(nc, cout, oh, ow)
-                )
-                continue
-            act = table[
-                act_seed_idx[None, :, :, :, None, None], cols
-            ]  # (nc, Cin, KH, KW, OH, OW, words)
-            for co in range(cout):
-                w_pos_c = wp[co][None, :, :, :, None, None, :]
-                w_neg_c = wn[co][None, :, :, :, None, None, :]
-                pos_counts = _reduce_products(act & w_pos_c, mode)
-                neg_counts = _reduce_products(act & w_neg_c, mode)
-                out[start : start + chunk, co] = (
-                    (pos_counts - neg_counts) / self.length
-                ).astype(np.float32)
+        bytes_touched = 0
+        with reg.span(
+            "scnn.conv_forward",
+            layer=self.layer_index,
+            role=self.role,
+            mode=mode.value,
+            engine=self.cfg.engine,
+            length=self.length,
+        ) as sp:
+            q_act_full = quantize_unipolar(x, self.bits)
+            w_clipped = np.clip(weight, -1.0, 1.0)
+            q_wpos = quantize_unipolar(np.maximum(w_clipped, 0.0), self.bits)
+            q_wneg = quantize_unipolar(np.maximum(-w_clipped, 0.0), self.bits)
+
+            # One table serves both operand kinds: the plan's seed pools are
+            # disjoint, and the table is indexed by raw seed.
+            all_seeds = np.concatenate(
+                [self.plan.weight_seeds.ravel(), self.plan.act_seeds.ravel()]
+            )
+            table, unique = stream_table(
+                source, self.bits, self.length, all_seeds, self.cfg.progressive
+            )
+            wp = _lookup(table, unique, self.plan.weight_seeds, q_wpos)
+            wn = _lookup(table, unique, self.plan.weight_seeds, q_wneg)
+
+            n = x.shape[0]
+            oh = conv_output_size(x.shape[2], kh, self.stride, self.padding)
+            ow = conv_output_size(x.shape[3], kw, self.stride, self.padding)
+            out = np.empty((n, cout, oh, ow), dtype=np.float32)
+
+            act_seed_idx = np.searchsorted(unique, self.plan.act_seeds)
+            fused = self.cfg.engine == "fused"
+            chunk = max(1, self.cfg.batch_chunk)
+            for start in range(0, n, chunk):
+                xs = q_act_full[start : start + chunk]
+                with reg.span("scnn.im2col"):
+                    cols = im2col(
+                        xs.astype(np.float32), kh, kw, self.stride, self.padding
+                    ).astype(np.int64)
+                bytes_touched += cols.nbytes
+                # cols: (nc, Cin, KH, KW, OH, OW)
+                if fused:
+                    nc = cols.shape[0]
+                    with reg.span("scnn.engine", engine="fused"):
+                        signed = fused_conv_counts(
+                            table,
+                            act_seed_idx,
+                            cols.reshape(nc, cin, kh, kw, oh * ow),
+                            wp,
+                            wn,
+                            mode,
+                            num_workers=self.cfg.num_workers,
+                        )  # (nc, Cout, OH*OW)
+                    out[start : start + chunk] = (
+                        (signed / self.length)
+                        .astype(np.float32)
+                        .reshape(nc, cout, oh, ow)
+                    )
+                    continue
+                with reg.span("scnn.engine", engine="reference"):
+                    act = table[
+                        act_seed_idx[None, :, :, :, None, None], cols
+                    ]  # (nc, Cin, KH, KW, OH, OW, words)
+                    bytes_touched += act.nbytes
+                    for co in range(cout):
+                        w_pos_c = wp[co][None, :, :, :, None, None, :]
+                        w_neg_c = wn[co][None, :, :, :, None, None, :]
+                        pos_counts = _reduce_products(act & w_pos_c, mode)
+                        neg_counts = _reduce_products(act & w_neg_c, mode)
+                        out[start : start + chunk, co] = (
+                            (pos_counts - neg_counts) / self.length
+                        ).astype(np.float32)
+        if reg.enabled:
+            bytes_touched += table.nbytes + wp.nbytes + wn.nbytes + out.nbytes
+            reg.counter(f"scnn.outputs.{mode.value}").add(out.size)
+            reg.add_profile(
+                {
+                    "kind": "layer_forward",
+                    "op": "conv",
+                    "layer_index": self.layer_index,
+                    "role": self.role,
+                    "mode": mode.value,
+                    "engine": self.cfg.engine,
+                    "stream_length": self.length,
+                    "bits": self.bits,
+                    "kernel_shape": list(self.kernel_shape),
+                    "batch": int(n),
+                    "output_shape": [int(n), cout, oh, ow],
+                    "bytes_touched": int(bytes_touched),
+                    "wall_s": sp.wall_s,
+                    "cpu_s": sp.cpu_s,
+                    "workers": self.cfg.num_workers,
+                }
+            )
         return out
 
 
@@ -381,6 +445,7 @@ class SCLinearSimulator:
         """``x``: (N, F) in [0,1]; ``weight``: (Fout, F) in [-1,1]."""
         n = x.shape[0]
         g = self.binary_groups
+        reg = obs.get_registry()
         gs = self.in_features // g
         # Features interleave into (group_size, 1, groups) kernels:
         # feature f -> (cin = f % gs ... ) use contiguous split: group i
@@ -391,5 +456,11 @@ class SCLinearSimulator:
             .transpose(0, 2, 1)
             .reshape(self.out_features, gs, 1, g)
         )
-        out = self._conv(x4, w4)
+        with reg.span(
+            "scnn.linear_forward",
+            in_features=self.in_features,
+            out_features=self.out_features,
+            groups=g,
+        ):
+            out = self._conv(x4, w4)
         return out.reshape(n, self.out_features)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.nn import Adam, ArrayDataset, DataLoader, Module, StepLR
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, no_grad
@@ -40,7 +41,7 @@ def evaluate(model: Module, dataset: ArrayDataset, batch_size: int = 64) -> floa
     was_training = any(m.training for m in model.modules())
     model.eval()
     correct = 0
-    with no_grad():
+    with obs.span("train.evaluate", samples=len(dataset)), no_grad():
         for start in range(0, len(dataset), batch_size):
             images = dataset.images[start : start + batch_size]
             labels = dataset.labels[start : start + batch_size]
@@ -78,18 +79,38 @@ def train_model(
     losses: list[float] = []
     epoch_acc: list[float] = []
     model.train()
+    reg = obs.get_registry()
     for epoch in range(epochs):
         epoch_loss = 0.0
         batches = 0
-        for images, labels in loader:
-            optimizer.zero_grad()
-            logits = model(Tensor(images))
-            loss = F.cross_entropy(logits, labels)
-            loss.backward()
-            optimizer.step()
-            epoch_loss += float(loss.data)
-            batches += 1
+        samples = 0
+        with reg.span("train.epoch", epoch=epoch) as ep_span:
+            for images, labels in loader:
+                with reg.span("train.batch", epoch=epoch, batch=batches):
+                    optimizer.zero_grad()
+                    logits = model(Tensor(images))
+                    loss = F.cross_entropy(logits, labels)
+                    loss.backward()
+                    optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+                samples += len(images)
         losses.append(epoch_loss / max(batches, 1))
+        if reg.enabled:
+            reg.counter("train.batches").add(batches)
+            reg.counter("train.samples").add(samples)
+            reg.gauge("train.loss").set(losses[-1])
+            reg.add_profile(
+                {
+                    "kind": "train_epoch",
+                    "epoch": epoch,
+                    "loss": losses[-1],
+                    "batches": batches,
+                    "samples": samples,
+                    "wall_s": ep_span.wall_s,
+                    "cpu_s": ep_span.cpu_s,
+                }
+            )
         if scheduler is not None:
             scheduler.step()
         last = epoch == epochs - 1

@@ -11,9 +11,12 @@ from repro.utils.bitops import (
 )
 from repro.utils.parallel import (
     cpu_count,
+    get_pool,
+    iter_shards,
     parallel_map,
     resolve_workers,
     shard_slices,
+    shutdown_pool,
 )
 from repro.utils.seeding import SeedSequenceFactory, derive_seed
 from repro.utils.report import Table, format_ratio
@@ -26,9 +29,12 @@ __all__ = [
     "popcount_packed",
     "packed_words",
     "cpu_count",
+    "get_pool",
+    "iter_shards",
     "parallel_map",
     "resolve_workers",
     "shard_slices",
+    "shutdown_pool",
     "SeedSequenceFactory",
     "derive_seed",
     "Table",

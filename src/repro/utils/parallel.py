@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 _T = TypeVar("_T")
@@ -58,18 +60,26 @@ def resolve_workers(num_workers: int | None) -> int:
 
 
 def get_pool(workers: int) -> ThreadPoolExecutor:
-    """The shared pool, grown to at least ``workers`` threads."""
+    """The shared pool, rebuilt to exactly ``workers`` threads.
+
+    A request for a *different* size than the current pool rebuilds it
+    (the old behaviour silently reused an oversized pool, so e.g. a
+    ``num_workers=2`` run after a ``num_workers=8`` run kept 8 threads
+    alive and measured the wrong configuration). Callers with a stable
+    ``num_workers`` knob hit the fast same-size path every time.
+    """
     global _POOL, _POOL_SIZE
     if workers < 1:
         raise ConfigurationError(f"pool size must be >= 1, got {workers}")
     with _POOL_LOCK:
-        if _POOL is None or _POOL_SIZE < workers:
+        if _POOL is None or _POOL_SIZE != workers:
             if _POOL is not None:
                 _POOL.shutdown(wait=False)
             _POOL = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="sc-kernel"
             )
             _POOL_SIZE = workers
+            obs.gauge("parallel.pool_size", unit="threads").set(workers)
         return _POOL
 
 
@@ -92,12 +102,50 @@ def parallel_map(
 
     Serial (no pool, no thread hop) when the resolved worker count is 1
     or there is at most one job; exceptions from workers propagate.
+
+    The pool is requested at the *resolved knob size* (stable across
+    calls) rather than the per-call job count, so varying shard counts
+    do not thrash the exact-size pool of :func:`get_pool`.
+
+    With telemetry enabled (:mod:`repro.obs`), each call records the
+    per-shard task durations and two scaling health signals: the
+    ``parallel.utilization`` gauge (busy time / ``workers x wall``, 1.0
+    = perfectly parallel) and ``parallel.shard_imbalance`` (slowest
+    shard / mean shard, 1.0 = perfectly balanced).
     """
-    workers = min(resolve_workers(num_workers), len(jobs))
+    resolved = resolve_workers(num_workers)
+    workers = min(resolved, len(jobs))
     if workers <= 1:
         return [fn(job) for job in jobs]
-    pool = get_pool(workers)
-    return list(pool.map(fn, jobs))
+    pool = get_pool(resolved)
+    reg = obs.get_registry()
+    if not reg.enabled:
+        return list(pool.map(fn, jobs))
+
+    durations = [0.0] * len(jobs)
+
+    def timed(indexed: tuple[int, _T]) -> _R:
+        index, job = indexed
+        t0 = time.perf_counter()
+        result = fn(job)
+        durations[index] = time.perf_counter() - t0
+        return result
+
+    t0 = time.perf_counter()
+    results = list(pool.map(timed, enumerate(jobs)))
+    wall = time.perf_counter() - t0
+    busy = sum(durations)
+    reg.counter("parallel.tasks").add(len(jobs))
+    reg.counter("parallel.busy_seconds", unit="s").add(busy)
+    if wall > 0.0:
+        reg.gauge("parallel.utilization", unit="ratio").set(
+            min(1.0, busy / (workers * wall))
+        )
+    if busy > 0.0:
+        reg.gauge("parallel.shard_imbalance", unit="ratio").set(
+            max(durations) * len(durations) / busy
+        )
+    return results
 
 
 def shard_slices(total: int, parts: int) -> list[slice]:

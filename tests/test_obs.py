@@ -1,0 +1,248 @@
+"""Tests for the telemetry subsystem (:mod:`repro.obs`)."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.arch import GEO_ULP, STREAMS_32_64, compile_network
+from repro.arch.executor import Executor
+from repro.models.shapes import cnn4_shapes
+from repro.scnn.config import SCConfig
+from repro.scnn.sim import SCConvSimulator, clear_table_cache
+from repro.utils.parallel import parallel_map
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    obs.reset()
+    saved = obs.enabled()
+    obs.set_enabled(True)
+    yield
+    obs.set_enabled(saved)
+    obs.reset()
+
+
+class TestSpans:
+    def test_records_wall_and_cpu(self):
+        with obs.span("outer") as sp:
+            pass
+        assert sp.wall_s >= 0.0
+        record = obs.get_registry().spans[-1]
+        assert record.name == "outer"
+        assert record.wall_s >= 0.0 and record.cpu_s >= 0.0
+
+    def test_nesting_builds_paths(self):
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+        paths = {s.path for s in obs.get_registry().spans}
+        assert {"a", "a/b", "a/b/c"} <= paths
+        depths = {s.path: s.depth for s in obs.get_registry().spans}
+        assert depths["a"] == 0 and depths["a/b/c"] == 2
+
+    def test_exception_safety(self):
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise ValueError("boom")
+        spans = {s.path: s for s in obs.get_registry().spans}
+        # Both spans completed, both carry the error, and the thread
+        # stack fully unwound (a new span roots at depth 0 again).
+        assert spans["outer"].error == "ValueError"
+        assert spans["outer/inner"].error == "ValueError"
+        with obs.span("after") as sp:
+            pass
+        assert sp.depth == 0
+
+    def test_sibling_threads_have_independent_stacks(self):
+        def worker(_):
+            with obs.span("shard"):
+                return threading.current_thread().name
+
+        with obs.span("driver"):
+            parallel_map(worker, list(range(4)), 2)
+        shard_spans = [
+            s for s in obs.get_registry().spans if s.name == "shard"
+        ]
+        assert len(shard_spans) == 4
+        # Worker threads root their own stacks: no cross-thread nesting.
+        assert all(s.depth == 0 for s in shard_spans)
+
+    def test_summary_tree_renders(self):
+        with obs.span("phase"):
+            with obs.span("step"):
+                pass
+        obs.counter("demo.count").add(3)
+        tree = obs.summary_tree()
+        assert "phase" in tree and "step" in tree and "demo.count" in tree
+
+
+class TestCounters:
+    def test_thread_safety_under_parallel_map(self):
+        counter = obs.counter("test.hammer")
+
+        def hammer(_):
+            for _ in range(1000):
+                counter.add(1)
+
+        parallel_map(hammer, list(range(8)), 4)
+        assert counter.value == 8000
+
+    def test_gauge_tracks_max(self):
+        g = obs.gauge("test.gauge")
+        g.set(3)
+        g.set(1)
+        assert g.value == 1 and g.max == 3
+
+    def test_reset_keeps_counter_objects_live(self):
+        c = obs.counter("test.persist")
+        c.add(5)
+        obs.reset()
+        assert c.value == 0
+        c.add(2)
+        assert obs.get_registry().counters()["test.persist"] == 2
+
+
+class TestDisabledMode:
+    def test_spans_and_profiles_are_noops(self):
+        with obs.enabled_scope(False):
+            with obs.span("ghost") as sp:
+                pass
+            assert sp is obs.NOOP_SPAN
+            obs.add_profile({"kind": "ghost"})
+        snap = obs.get_registry().snapshot()
+        assert snap["spans"] == []
+        assert snap["profiles"] == []
+
+    def test_forward_emits_no_profile_when_disabled(self):
+        clear_table_cache()
+        cfg = SCConfig(stream_length=32, stream_length_pooling=32)
+        sim = SCConvSimulator((2, 1, 3, 3), cfg)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (1, 1, 5, 5)).astype(np.float32)
+        w = rng.uniform(-0.4, 0.4, (2, 1, 3, 3)).astype(np.float32)
+        with obs.enabled_scope(False):
+            y_off = sim(x, w)
+        snap = obs.get_registry().snapshot()
+        assert snap["profiles"] == []
+        assert snap["spans"] == []
+        assert snap["counters"].get("sc.kernels.calls", {"value": 0})[
+            "value"
+        ] == 0
+        # Cache stats stay live (backward-compatible contract) and the
+        # output is bit-identical to an instrumented run.
+        from repro.scnn.sim import table_cache_stats
+
+        assert table_cache_stats()["misses"] == 1
+        y_on = sim(x, w)
+        np.testing.assert_array_equal(y_off, y_on)
+        assert len(obs.get_registry().profiles) == 1
+
+    def test_layer_profile_recorded_when_enabled(self):
+        clear_table_cache()
+        cfg = SCConfig(stream_length=32, stream_length_pooling=32)
+        sim = SCConvSimulator((2, 1, 3, 3), cfg)
+        rng = np.random.default_rng(0)
+        sim(
+            rng.uniform(0, 1, (1, 1, 5, 5)).astype(np.float32),
+            rng.uniform(-0.4, 0.4, (2, 1, 3, 3)).astype(np.float32),
+        )
+        profile = obs.get_registry().profiles[-1]
+        assert profile["kind"] == "layer_forward"
+        assert profile["kernel_shape"] == [2, 1, 3, 3]
+        assert profile["mode"] == "pbw"
+        assert profile["stream_length"] == 32
+        assert profile["bytes_touched"] > 0
+        assert profile["wall_s"] >= 0.0
+
+
+class TestExporters:
+    def _populate(self):
+        with obs.span("root", tag="x"):
+            with obs.span("leaf"):
+                pass
+        obs.counter("exp.count", unit="words").add(7)
+        obs.gauge("exp.gauge").set(1.5)
+        obs.add_profile({"kind": "demo", "value": 3})
+
+    def test_jsonl_round_trip(self, tmp_path):
+        self._populate()
+        path = obs.write_jsonl(tmp_path / "t.jsonl")
+        records = obs.read_jsonl(path)
+        assert records["meta"][0]["enabled"] is True
+        counters = {r["name"]: r for r in records["counter"]}
+        assert counters["exp.count"]["value"] == 7
+        assert counters["exp.count"]["unit"] == "words"
+        gauges = {r["name"]: r for r in records["gauge"]}
+        assert gauges["exp.gauge"]["value"] == 1.5
+        spans = {r["path"]: r for r in records["span"]}
+        assert spans["root"]["attrs"] == {"tag": "x"}
+        assert spans["root/leaf"]["depth"] == 1
+        assert records["profile"] == [{"kind": "demo", "value": 3}]
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        self._populate()
+        path = obs.write_chrome_trace(tmp_path / "t.trace.json")
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"root", "leaf"}
+        for event in complete:
+            assert event["dur"] >= 0 and event["ts"] >= 0
+        counter_events = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "exp.count" for e in counter_events)
+
+    def test_export_profile_writes_both(self, tmp_path):
+        self._populate()
+        jsonl, trace = obs.export_profile(tmp_path / "run1")
+        assert jsonl.name == "run1.jsonl" and trace.name == "run1.trace.json"
+        assert jsonl.exists() and trace.exists()
+        # Suffixed inputs collapse onto the same base.
+        jsonl2, _ = obs.export_profile(tmp_path / "run2.jsonl")
+        assert jsonl2.name == "run2.jsonl"
+
+
+class TestExecutorHistogram:
+    def test_histogram_totals_match_cycle_totals(self):
+        layers = cnn4_shapes(16)
+        programs = compile_network(layers, GEO_ULP, STREAMS_32_64)
+        for program in programs:
+            state = Executor(GEO_ULP).run(program.instructions)
+            trace_cycles = sum(ev.cycles for ev in state.trace)
+            assert sum(state.cycle_histogram.values()) == trace_cycles
+            assert state.trace_cycles == trace_cycles
+            # The timeline differs from the executed-cycle total only by
+            # the shadow prefetches that overlap generation for free.
+            shadow = state.cycle_histogram.get("LD_SHADOW", 0)
+            assert state.cycle == trace_cycles - shadow
+
+    def test_histogram_mirrored_to_counters(self):
+        layers = cnn4_shapes(16)
+        program = compile_network(layers, GEO_ULP, STREAMS_32_64)[0]
+        state = Executor(GEO_ULP).run(program.instructions)
+        counters = obs.get_registry().counters()
+        for name, cycles in state.cycle_histogram.items():
+            assert counters[f"executor.cycles.{name}"] == cycles
+        assert counters["executor.instructions"] == len(state.trace)
+
+
+class TestParallelTelemetry:
+    def test_shard_durations_and_utilization_recorded(self):
+        parallel_map(lambda v: v * v, list(range(8)), 2)
+        reg = obs.get_registry()
+        counters = reg.counters()
+        assert counters["parallel.tasks"] == 8
+        assert counters["parallel.busy_seconds"] >= 0.0
+        gauges = reg.gauges()
+        assert 0.0 <= gauges["parallel.utilization"]["value"] <= 1.0
+        assert gauges["parallel.shard_imbalance"]["value"] >= 1.0
+
+    def test_serial_path_records_nothing(self):
+        parallel_map(lambda v: v, [1, 2, 3], 1)
+        # reset() zeroes counters in place, so the key may pre-exist at 0
+        # from earlier tests; the serial path must not bump it.
+        assert obs.get_registry().counters().get("parallel.tasks", 0) == 0

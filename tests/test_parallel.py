@@ -91,13 +91,17 @@ class TestParallelMap:
 
 
 class TestPool:
-    def test_pool_reused_and_grown(self):
+    def test_pool_reused_and_rebuilt(self):
         shutdown_pool()
         small = get_pool(2)
         assert get_pool(2) is small
         big = get_pool(4)
         assert big is not small
-        assert get_pool(3) is big  # large enough already
+        # A different worker count rebuilds at the exact size: a later
+        # get_pool(3) must not silently hand back an oversized pool.
+        three = get_pool(3)
+        assert three is not big
+        assert three._max_workers == 3
         shutdown_pool()
 
     def test_invalid_size_rejected(self):

@@ -265,7 +265,24 @@ class TestTableCacheLRU:
             "evictions": 0,
             "size": 0,
             "capacity": stats["capacity"],
+            "bytes": 0,
         }
+
+    def test_bytes_resident_tracks_tables(self, monkeypatch):
+        from repro.scnn import sim as sim_module
+
+        monkeypatch.setattr(sim_module, "_TABLE_CACHE_LIMIT", 2)
+        src = LFSRSource(5)
+        table_a, _ = stream_table(src, 5, 32, np.array([1]), False)
+        assert sim_module.table_cache_stats()["bytes"] == table_a.nbytes
+        table_b, _ = stream_table(src, 5, 32, np.array([2, 3]), False)
+        two = sim_module.table_cache_stats()["bytes"]
+        assert two == table_a.nbytes + table_b.nbytes
+        # Eviction releases the evicted table's bytes, not everything.
+        stream_table(src, 5, 32, np.array([4]), False)
+        stats = sim_module.table_cache_stats()
+        assert stats["evictions"] == 1
+        assert 0 < stats["bytes"] < two + table_a.nbytes
 
 
 class TestLinearGroupFolding:
