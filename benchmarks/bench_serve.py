@@ -1,0 +1,239 @@
+"""Benchmark: the serving stack — micro-batching on vs off under load.
+
+Drives a warmed CNN-4 SC service with closed-loop client threads at
+three offered-load levels (1, 4, and 16 concurrent clients) and times
+every request end to end, once with the micro-batcher enabled
+(``max_batch=16``) and once effectively disabled (``max_batch=1``).
+Per-level results: p50/p95/p99 latency and sustained throughput, plus
+the batch-size histogram the batcher actually achieved.
+
+The claim under test is the serving analogue of GEO's execution-stage
+amortization: one coalesced SC forward over N samples shares stream
+tables, seed plans, and im2col setup that N singleton forwards would
+each pay for, so at high offered load batching must clear **>= 2x** the
+unbatched throughput. The full report is written to
+``BENCH_serve.json`` at the repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--requests N] \
+        [--profile PATH]
+
+or through pytest (``pytest benchmarks/bench_serve.py``).
+"""
+
+import argparse
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs, serve
+from repro.models.cnn4 import cnn4_sc
+from repro.scnn.config import SCConfig
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: Workload: the tiny CNN-4 used across the benchmark suite.
+IN_CHANNELS, INPUT_SIZE, STREAM_LENGTH, WIDTH_MULT = 1, 16, 64, 0.5
+
+#: Offered load = closed-loop client concurrency.
+LOADS = (1, 4, 16)
+
+MAX_BATCH = 16
+
+
+def _build_service(batching: bool) -> serve.InferenceService:
+    cfg = SCConfig(
+        stream_length=STREAM_LENGTH, stream_length_pooling=STREAM_LENGTH
+    )
+    model = cnn4_sc(
+        cfg,
+        num_classes=10,
+        in_channels=IN_CHANNELS,
+        input_size=INPUT_SIZE,
+        width_mult=WIDTH_MULT,
+        seed=7,
+    )
+    registry = serve.ModelRegistry()
+    # num_tiers=1: no degrade ladder, so the arms compare batching alone.
+    registry.register(
+        "cnn4", model, input_shape=(IN_CHANNELS, INPUT_SIZE, INPUT_SIZE),
+        num_tiers=1,
+    )
+    policy = serve.ServePolicy(
+        max_batch=MAX_BATCH if batching else 1,
+        max_wait_s=0.002 if batching else 0.0,
+        max_queue=128,
+        default_deadline_s=None,  # measure latency, don't shed it
+        num_tiers=1,
+    )
+    return serve.InferenceService(registry, policy)
+
+
+def _drive(
+    service: serve.InferenceService, clients: int, requests_per_client: int
+) -> dict:
+    """Closed loop: each client thread sends back-to-back requests."""
+    rng = np.random.default_rng(11)
+    x = rng.uniform(
+        0, 1, size=(IN_CHANNELS, INPUT_SIZE, INPUT_SIZE)
+    ).astype(np.float32)
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client():
+        mine = []
+        for _ in range(requests_per_client):
+            result = service.predict("cnn4", x)
+            mine.append(result.latency_s)
+        with lock:
+            latencies.extend(mine)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+
+    lat_ms = np.sort(np.asarray(latencies)) * 1e3
+    return {
+        "clients": clients,
+        "requests": len(latencies),
+        "wall_s": wall,
+        "throughput_rps": len(latencies) / wall,
+        "latency_ms": {
+            "p50": float(np.percentile(lat_ms, 50)),
+            "p95": float(np.percentile(lat_ms, 95)),
+            "p99": float(np.percentile(lat_ms, 99)),
+            "mean": float(lat_ms.mean()),
+            "max": float(lat_ms.max()),
+        },
+    }
+
+
+def run_serve_bench(requests_per_client: int = 12) -> dict:
+    arms: dict[str, dict] = {}
+    for arm, batching in (("batched", True), ("unbatched", False)):
+        service = _build_service(batching)
+        with service:
+            levels = [
+                _drive(service, clients, requests_per_client)
+                for clients in LOADS
+            ]
+            stats = service.stats()
+        arms[arm] = {
+            "max_batch": service.policy.max_batch,
+            "levels": levels,
+            "batch_size_hist": stats["batches"]["size"],
+            "stats": stats["requests"],
+            "accounting_balanced": stats["accounting"]["balanced"],
+        }
+
+    speedups = {}
+    for batched_level, unbatched_level in zip(
+        arms["batched"]["levels"], arms["unbatched"]["levels"]
+    ):
+        speedups[f"clients_{batched_level['clients']}"] = (
+            batched_level["throughput_rps"]
+            / unbatched_level["throughput_rps"]
+        )
+
+    return {
+        "benchmark": "serve_microbatching",
+        "config": {
+            "model": "cnn4_sc",
+            "in_channels": IN_CHANNELS,
+            "input_size": INPUT_SIZE,
+            "width_mult": WIDTH_MULT,
+            "stream_length": STREAM_LENGTH,
+            "loads_clients": list(LOADS),
+            "requests_per_client": requests_per_client,
+            "max_batch_batched": MAX_BATCH,
+        },
+        "machine": {
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+        },
+        "arms": arms,
+        "throughput_speedup_batched_vs_unbatched": speedups,
+    }
+
+
+def render(report: dict) -> str:
+    rows = [
+        f"{'arm':10s} {'clients':>7s} {'rps':>8s} {'p50':>8s} "
+        f"{'p95':>8s} {'p99':>8s}"
+    ]
+    for arm in ("batched", "unbatched"):
+        for level in report["arms"][arm]["levels"]:
+            lat = level["latency_ms"]
+            rows.append(
+                f"{arm:10s} {level['clients']:7d} "
+                f"{level['throughput_rps']:8.1f} {lat['p50']:7.1f}ms "
+                f"{lat['p95']:7.1f}ms {lat['p99']:7.1f}ms"
+            )
+    speedups = report["throughput_speedup_batched_vs_unbatched"]
+    rows.append(
+        "batched vs unbatched throughput: "
+        + ", ".join(f"{k.split('_')[1]} clients {v:.2f}x"
+                    for k, v in speedups.items())
+    )
+    hist = report["arms"]["batched"]["batch_size_hist"]
+    rows.append(
+        f"batched arm batch sizes: mean {hist['mean']:.1f}, "
+        f"max {hist['max']}"
+    )
+    return "\n".join(rows)
+
+
+def _write(report: dict) -> None:
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_serve_bench(once):
+    report = once(run_serve_bench)
+    print()
+    print(render(report))
+    _write(report)
+    # Core acceptance: at the highest offered load, micro-batching must
+    # at least double throughput over batch-size-1 dispatch.
+    top = f"clients_{LOADS[-1]}"
+    assert report["throughput_speedup_batched_vs_unbatched"][top] >= 2.0
+    # Every request in both arms is accounted for (none dropped).
+    for arm in report["arms"].values():
+        assert arm["accounting_balanced"]
+        assert arm["stats"]["failed"] == 0
+        assert arm["stats"]["expired"] == 0
+    # The batcher actually coalesced under load.
+    assert report["arms"]["batched"]["batch_size_hist"]["max"] > 1
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests", type=int, default=12,
+        help="requests per client thread at each load level",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="export telemetry as PATH.jsonl + PATH.trace.json and "
+        "print the span/counter summary tree",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.profile:
+        obs.reset()
+    result = run_serve_bench(requests_per_client=cli_args.requests)
+    print(render(result))
+    _write(result)
+    print(f"wrote {OUTPUT}")
+    if cli_args.profile:
+        jsonl, trace = obs.export_profile(cli_args.profile)
+        print()
+        print(obs.summary_tree())
+        print(f"wrote {jsonl} and {trace}")

@@ -1,0 +1,139 @@
+"""CI smoke test: serving stack end to end over real HTTP.
+
+Stands up the demo CNN-4 service on a free port, fires concurrent
+requests at it from client threads (below the degrade watermark), and
+asserts the serving contract:
+
+* every response arrives, is well formed, and is **not** degraded
+  (tier 0) — light load must never trade away accuracy;
+* ``/healthz`` lists the model, ``/stats`` is populated and its request
+  accounting balances (accepted == completed + ... exactly);
+* an unknown model maps to 404/UnknownModelError over the wire.
+
+With ``--profile PATH`` the run's telemetry is exported
+(``PATH.jsonl`` + ``PATH.trace.json``) for the CI artifact upload.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/smoke_serve.py [--clients N] \
+        [--requests N] [--profile PATH]
+"""
+
+import argparse
+import sys
+import threading
+
+import numpy as np
+
+from repro import obs, serve
+from repro.errors import UnknownModelError
+from repro.models.cnn4 import cnn4_sc
+from repro.scnn.config import SCConfig
+
+IN_CHANNELS, INPUT_SIZE, STREAM_LENGTH = 1, 16, 64
+
+
+def run_smoke(clients: int = 4, requests_per_client: int = 3) -> dict:
+    cfg = SCConfig(
+        stream_length=STREAM_LENGTH, stream_length_pooling=STREAM_LENGTH
+    )
+    model = cnn4_sc(
+        cfg,
+        num_classes=10,
+        in_channels=IN_CHANNELS,
+        input_size=INPUT_SIZE,
+        width_mult=0.5,
+        seed=7,
+    )
+    registry = serve.ModelRegistry()
+    registry.register(
+        "cnn4", model, input_shape=(IN_CHANNELS, INPUT_SIZE, INPUT_SIZE)
+    )
+    # High watermark above the total in-flight ceiling: this load level
+    # must be served at full precision.
+    policy = serve.ServePolicy(
+        max_batch=8,
+        max_queue=128,
+        degrade_high_watermark=clients * requests_per_client + 1,
+    )
+    service = serve.InferenceService(registry, policy).start()
+    server = serve.make_server(service, port=0)  # port=0: free port
+    server.serve_background()
+    base = f"http://127.0.0.1:{server.port}"
+    print(f"smoke server on {base}")
+
+    client = serve.HTTPClient(base)
+    health = client.healthz()
+    assert health["status"] == "ok" and "cnn4" in health["models"], health
+
+    rng = np.random.default_rng(5)
+    x = rng.uniform(0, 1, size=(IN_CHANNELS, INPUT_SIZE, INPUT_SIZE))
+    responses: list[dict] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def worker():
+        c = serve.HTTPClient(base)
+        for _ in range(requests_per_client):
+            try:
+                r = c.predict("cnn4", x)
+                with lock:
+                    responses.append(r)
+            except Exception as err:  # noqa: BLE001 - collected for report
+                with lock:
+                    errors.append(err)
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors, f"request errors: {errors}"
+    expected = clients * requests_per_client
+    assert len(responses) == expected, (len(responses), expected)
+    for r in responses:
+        assert r["tier"] == 0 and not r["degraded"], r
+        assert len(r["outputs"]) == 10 and 0 <= r["argmax"] < 10, r
+
+    try:
+        client.predict("no-such-model", x)
+        raise AssertionError("unknown model must 404")
+    except UnknownModelError:
+        pass
+
+    stats = client.stats()
+    requests = stats["requests"]
+    assert requests["accepted"] >= expected, requests
+    assert requests["completed"] >= expected, requests
+    assert stats["accounting"]["balanced"], stats
+    assert stats["batches"]["dispatched"] >= 1, stats
+    assert stats["latency_ms"]["count"] >= expected, stats
+
+    server.shutdown()
+    service.stop()
+    print(
+        f"OK: {len(responses)} responses, all tier 0; "
+        f"{stats['batches']['dispatched']} batches "
+        f"(mean size {stats['batches']['size']['mean']:.1f}); "
+        f"accounting balanced"
+    )
+    return stats
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=3)
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="export telemetry as PATH.jsonl + PATH.trace.json",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.profile:
+        obs.reset()
+    run_smoke(clients=cli_args.clients, requests_per_client=cli_args.requests)
+    if cli_args.profile:
+        jsonl, trace = obs.export_profile(cli_args.profile)
+        print(f"wrote {jsonl} and {trace}")
+    sys.exit(0)

@@ -19,6 +19,7 @@ from repro.arch.perfsim import simulate
 from repro.errors import ConfigurationError
 from repro.models.shapes import LayerShape
 from repro.scnn.config import SCConfig
+from repro.utils.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -57,37 +58,53 @@ class DesignPoint:
         return no_worse and better
 
 
+def _evaluate_point(
+    job: tuple[list[LayerShape], GeoArchConfig, int, int, tuple[int, int]],
+) -> DesignPoint:
+    """Simulate one grid point (pure function of its arguments)."""
+    layers, base, rows, width, (sp, s) = job
+    arch = base.with_(
+        name=f"sweep-{rows}x{width}", rows=rows, row_width=width
+    )
+    streams = SCConfig(stream_length=s, stream_length_pooling=sp)
+    report = simulate(layers, arch, streams)
+    area = build_blocks(arch).total_area_mm2()
+    return DesignPoint(
+        arch=arch,
+        streams=streams,
+        area_mm2=area,
+        frames_per_second=report.frames_per_second,
+        frames_per_joule=report.frames_per_joule,
+        power_mw=report.power_mw,
+    )
+
+
 def sweep(
     layers: list[LayerShape],
     rows_options: tuple[int, ...] = (16, 32, 64),
     row_width_options: tuple[int, ...] = (400, 800, 1600),
     stream_options: tuple[tuple[int, int], ...] = ((16, 32), (32, 64), (64, 128)),
     base: GeoArchConfig = GEO_ULP,
+    num_workers: int | None = 1,
 ) -> list[DesignPoint]:
-    """Evaluate the cross product of architecture knobs on a workload."""
+    """Evaluate the cross product of architecture knobs on a workload.
+
+    The sweep is embarrassingly parallel: each grid point is an
+    independent analytic simulation, so ``num_workers`` shards them over
+    the shared worker pool (``0`` = one worker per CPU, the usual
+    :mod:`repro.utils.parallel` convention). Results are returned in
+    grid order regardless of worker count, so downstream consumers
+    (Pareto frontier, CSV export) see a deterministic sequence.
+    """
     if not layers:
         raise ConfigurationError("sweep needs a workload")
-    points: list[DesignPoint] = []
-    for rows, width, (sp, s) in itertools.product(
-        rows_options, row_width_options, stream_options
-    ):
-        arch = base.with_(
-            name=f"sweep-{rows}x{width}", rows=rows, row_width=width
+    jobs = [
+        (layers, base, rows, width, streams)
+        for rows, width, streams in itertools.product(
+            rows_options, row_width_options, stream_options
         )
-        streams = SCConfig(stream_length=s, stream_length_pooling=sp)
-        report = simulate(layers, arch, streams)
-        area = build_blocks(arch).total_area_mm2()
-        points.append(
-            DesignPoint(
-                arch=arch,
-                streams=streams,
-                area_mm2=area,
-                frames_per_second=report.frames_per_second,
-                frames_per_joule=report.frames_per_joule,
-                power_mw=report.power_mw,
-            )
-        )
-    return points
+    ]
+    return parallel_map(_evaluate_point, jobs, num_workers=num_workers)
 
 
 def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:

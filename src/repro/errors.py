@@ -44,3 +44,21 @@ class SimulationError(ReproError):
 class GradientError(ReproError):
     """Autograd graph misuse (backward through a non-scalar without an
     explicit gradient, or a second backward without retained graph)."""
+
+
+class ServeError(ReproError):
+    """Base class for inference-serving failures (:mod:`repro.serve`)."""
+
+
+class UnknownModelError(ServeError):
+    """A request named a model the registry has not loaded."""
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected a request: the bounded request queue
+    is at capacity (backpressure — retry later or at a lower rate)."""
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline elapsed before a result could be produced
+    (either while queued or waiting on the response)."""

@@ -36,6 +36,7 @@ EXPERIMENTS = (
     "fig1", "fig2", "fig5", "fig6",
     "table1", "table2", "table3",
     "ablations", "ablations-training", "all",
+    "serve",
 )
 
 
@@ -83,6 +84,46 @@ def _run(name: str, scale: str, csv_dir: str | None = None) -> None:
         raise ValueError(name)
 
 
+def _run_serve(args) -> int:
+    """``geo-repro serve``: stand up the batched SC inference service.
+
+    Serves a demo CNN-4 (or a ``--checkpoint`` saved with
+    :func:`repro.nn.serialize.save_model`) over HTTP until interrupted.
+    """
+    from repro import serve
+    from repro.models.cnn4 import cnn4_sc
+    from repro.scnn.config import SCConfig
+
+    registry = serve.ModelRegistry()
+    if args.checkpoint:
+        entry = registry.load(args.model, args.checkpoint)
+    else:
+        cfg = SCConfig(
+            stream_length=args.stream_length,
+            stream_length_pooling=args.stream_length * 2,
+        )
+        model = cnn4_sc(cfg, num_classes=10, in_channels=3, input_size=32)
+        entry = registry.register(args.model, model, input_shape=(3, 32, 32))
+    service = serve.InferenceService(registry).start()
+    server = serve.make_server(
+        service, host=args.host, port=args.port, verbose=True
+    )
+    print(
+        f"serving {entry.name!r} (input {entry.input_shape}, "
+        f"{len(entry.tiers)} tier(s)) on "
+        f"http://{args.host}:{server.port} — POST /predict, "
+        f"GET /healthz, GET /stats; Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        service.stop()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="geo-repro",
@@ -107,7 +148,28 @@ def main(argv: list[str] | None = None) -> int:
         help="record telemetry and write PATH.jsonl + PATH.trace.json "
         "(Chrome trace), then print the span/counter summary",
     )
+    group = parser.add_argument_group("serve", "options for `geo-repro serve`")
+    group.add_argument("--host", default="127.0.0.1")
+    group.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    group.add_argument(
+        "--model", default="cnn4", help="name the model is served under"
+    )
+    group.add_argument(
+        "--checkpoint",
+        default=None,
+        help="serve a nn.serialize.save_model checkpoint instead of the "
+        "built-in demo CNN-4",
+    )
+    group.add_argument(
+        "--stream-length", type=int, default=64,
+        help="demo model stream length (ignored with --checkpoint)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "serve":
+        return _run_serve(args)
 
     if args.profile:
         obs.reset()  # profile this invocation only, not import-time noise

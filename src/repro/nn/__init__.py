@@ -24,7 +24,15 @@ from repro.nn.layers import (
 from repro.nn.optim import Adam, Optimizer, SGD, StepLR
 from repro.nn.data import ArrayDataset, DataLoader
 from repro.nn import init, quant
-from repro.nn.serialize import load_checkpoint, peek_metadata, save_checkpoint
+from repro.nn.serialize import (
+    build_from_spec,
+    load_checkpoint,
+    load_model,
+    model_spec,
+    peek_metadata,
+    save_checkpoint,
+    save_model,
+)
 
 __all__ = [
     "Tensor",
@@ -52,7 +60,11 @@ __all__ = [
     "DataLoader",
     "init",
     "quant",
+    "build_from_spec",
     "load_checkpoint",
+    "load_model",
+    "model_spec",
     "peek_metadata",
     "save_checkpoint",
+    "save_model",
 ]

@@ -84,24 +84,69 @@ class Module:
                         state.update(item.state_dict(prefix=f"{key}.{i}."))
         return state
 
-    def load_state_dict(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+    def load_state_dict(
+        self,
+        state: dict[str, np.ndarray],
+        prefix: str = "",
+        strict: bool = False,
+    ) -> None:
+        """Copy ``state`` into this module's parameters and buffers.
+
+        With ``strict=True`` the state dict must cover the model exactly:
+        a key the model expects but the dict lacks (e.g. batch-norm
+        running stats stripped by an old tool), or a key the model cannot
+        consume (an architecture mismatch), raises instead of silently
+        producing a half-loaded model. Checkpoint loading
+        (:func:`repro.nn.serialize.load_checkpoint`) is strict by
+        default; partial fine-tuning restores can pass ``strict=False``.
+        """
+        expected: set[str] = set()
+        self._load_into(state, prefix, expected)
+        if strict:
+            missing = sorted(expected - set(state))
+            unexpected = sorted(
+                key
+                for key in state
+                if not key.startswith("__") and key not in expected
+            )
+            if missing or unexpected:
+                raise ConfigurationError(
+                    "state dict does not round-trip this model: "
+                    f"missing keys {missing}, unexpected keys {unexpected}"
+                )
+
+    def _load_into(
+        self,
+        state: dict[str, np.ndarray],
+        prefix: str,
+        expected: set[str],
+    ) -> None:
         for name, value in self.__dict__.items():
             key = f"{prefix}{name}"
-            if isinstance(value, Tensor) and key in state:
-                if value.data.shape != state[key].shape:
-                    raise ConfigurationError(
-                        f"shape mismatch for {key}: "
-                        f"{value.data.shape} vs {state[key].shape}"
-                    )
-                value.data = state[key].astype(np.float32).copy()
-            elif isinstance(value, np.ndarray) and key in state:
-                value[...] = state[key]
+            if isinstance(value, Tensor):
+                expected.add(key)
+                if key in state:
+                    if value.data.shape != state[key].shape:
+                        raise ConfigurationError(
+                            f"shape mismatch for {key}: "
+                            f"{value.data.shape} vs {state[key].shape}"
+                        )
+                    value.data = state[key].astype(np.float32).copy()
+            elif isinstance(value, np.ndarray):
+                expected.add(key)
+                if key in state:
+                    if value.shape != state[key].shape:
+                        raise ConfigurationError(
+                            f"shape mismatch for {key}: "
+                            f"{value.shape} vs {state[key].shape}"
+                        )
+                    value[...] = state[key]
             elif isinstance(value, Module):
-                value.load_state_dict(state, prefix=f"{key}.")
+                value._load_into(state, f"{key}.", expected)
             elif isinstance(value, (list, tuple)):
                 for i, item in enumerate(value):
                     if isinstance(item, Module):
-                        item.load_state_dict(state, prefix=f"{key}.{i}.")
+                        item._load_into(state, f"{key}.{i}.", expected)
 
     # -- call ----------------------------------------------------------------
 

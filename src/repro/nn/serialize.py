@@ -4,6 +4,21 @@ Training-based experiments at ``standard``/``full`` scale take minutes to
 hours; checkpointing lets users train once and re-evaluate under many SC
 configurations (e.g. the Fig. 1 mismatch arm, or stream-length sweeps via
 :func:`repro.scnn.layers.swap_config`).
+
+Two levels of API:
+
+* **State-dict level** — :func:`save_checkpoint` / :func:`load_checkpoint`
+  move parameters and buffers in and out of a model *you* construct.
+  Loading is strict by default: the archive must cover the model's state
+  exactly (missing batch-norm running stats, extra keys from a different
+  architecture, and shape mismatches all raise).
+* **Model level** — :func:`save_model` additionally embeds a *model
+  spec* (builder name + keyword arguments + optional
+  :class:`~repro.scnn.config.SCConfig`) in the metadata, and
+  :func:`load_model` rebuilds the architecture from the spec before
+  loading the weights — no hand-reconstruction. This is what the
+  serving registry (:mod:`repro.serve`) consumes: a checkpoint becomes
+  a self-contained servable artifact.
 """
 
 from __future__ import annotations
@@ -17,7 +32,17 @@ from repro.errors import ConfigurationError
 from repro.nn.layers import Module
 
 _META_KEY = "__checkpoint_meta__"
+_SPEC_KEY = "model_spec"
 _FORMAT_VERSION = 1
+
+#: Builder names resolvable by :func:`build_from_spec`. Values are the
+#: attribute names on :mod:`repro.models` (resolved lazily — the model
+#: zoo imports this module's package).
+MODEL_BUILDERS = (
+    "cnn4_fp", "cnn4_sc",
+    "lenet5_fp", "lenet5_sc",
+    "vgg16_fp", "vgg16_sc",
+)
 
 
 def save_checkpoint(
@@ -52,9 +77,16 @@ def save_checkpoint(
 def load_checkpoint(
     model: Module,
     path: "str | Path",
+    strict: bool = True,
 ) -> dict:
-    """Load a checkpoint into ``model`` (shapes validated); returns the
-    stored user metadata."""
+    """Load a checkpoint into ``model``; returns the stored user metadata.
+
+    Strict by default: every array the model expects must be present in
+    the archive (and vice versa) with matching shapes — a checkpoint
+    that silently leaves e.g. batch-norm running statistics at their
+    init values is worse than an error. Pass ``strict=False`` for
+    deliberate partial restores.
+    """
     path = Path(path)
     if not path.exists():
         alt = path.with_suffix(".npz")
@@ -75,7 +107,7 @@ def load_checkpoint(
         state = {
             key: archive[key] for key in archive.files if key != _META_KEY
         }
-    model.load_state_dict(state)
+    model.load_state_dict(state, strict=strict)
     return meta.get("user", {})
 
 
@@ -87,3 +119,89 @@ def peek_metadata(path: "str | Path") -> dict:
             raise ConfigurationError(f"{path} is not a repro checkpoint")
         meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
     return meta.get("user", {})
+
+
+# -- model-level API (architecture spec + weights) ---------------------------
+
+
+def model_spec(
+    builder: str,
+    builder_kwargs: dict | None = None,
+    sc_config=None,
+) -> dict:
+    """Assemble a JSON-serializable model spec.
+
+    ``builder`` must be one of :data:`MODEL_BUILDERS`; ``sc_config`` (an
+    :class:`~repro.scnn.config.SCConfig`, required for the ``*_sc``
+    builders) is stored via its :meth:`to_dict`.
+    """
+    if builder not in MODEL_BUILDERS:
+        raise ConfigurationError(
+            f"unknown model builder {builder!r} "
+            f"(known: {', '.join(MODEL_BUILDERS)})"
+        )
+    if builder.endswith("_sc") and sc_config is None:
+        raise ConfigurationError(
+            f"builder {builder!r} needs an SCConfig (sc_config=...)"
+        )
+    spec = {"builder": builder, "kwargs": dict(builder_kwargs or {})}
+    if sc_config is not None:
+        spec["sc_config"] = sc_config.to_dict()
+    return spec
+
+
+def build_from_spec(spec: dict) -> Module:
+    """Construct the (untrained) model a spec describes."""
+    from repro import models  # lazy: the model zoo imports this package
+    from repro.scnn.config import SCConfig
+
+    builder_name = spec.get("builder")
+    if builder_name not in MODEL_BUILDERS:
+        raise ConfigurationError(
+            f"unknown model builder {builder_name!r} in spec"
+        )
+    builder = getattr(models, builder_name)
+    kwargs = dict(spec.get("kwargs") or {})
+    if builder_name.endswith("_sc"):
+        if "sc_config" not in spec:
+            raise ConfigurationError(
+                f"spec for {builder_name!r} lacks its sc_config"
+            )
+        return builder(SCConfig.from_dict(spec["sc_config"]), **kwargs)
+    return builder(**kwargs)
+
+
+def save_model(
+    model: Module,
+    path: "str | Path",
+    builder: str,
+    builder_kwargs: dict | None = None,
+    sc_config=None,
+    metadata: dict | None = None,
+) -> Path:
+    """Write weights *and* the spec needed to rebuild the architecture.
+
+    The spec travels inside the user metadata under ``"model_spec"``;
+    :func:`load_model` (and the serving registry) rebuild from it.
+    """
+    meta = dict(metadata or {})
+    meta[_SPEC_KEY] = model_spec(builder, builder_kwargs, sc_config)
+    return save_checkpoint(model, path, metadata=meta)
+
+
+def load_model(path: "str | Path") -> tuple[Module, dict]:
+    """Rebuild the model a :func:`save_model` checkpoint describes and
+    strictly load its weights; returns ``(model, user_metadata)``."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    meta = peek_metadata(path)
+    spec = meta.get(_SPEC_KEY)
+    if spec is None:
+        raise ConfigurationError(
+            f"{path} has no model spec — save it with save_model(), or "
+            "build the architecture yourself and use load_checkpoint()"
+        )
+    model = build_from_spec(spec)
+    load_checkpoint(model, path, strict=True)
+    return model, meta

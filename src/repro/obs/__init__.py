@@ -20,6 +20,7 @@ skip their counter updates. See :mod:`repro.obs.core` for the contract.
 from repro.obs.core import (
     Counter,
     Gauge,
+    Histogram,
     NOOP_SPAN,
     Registry,
     SpanRecord,
@@ -29,6 +30,7 @@ from repro.obs.core import (
     enabled_scope,
     gauge,
     get_registry,
+    histogram,
     reset,
     set_enabled,
     span,
@@ -44,6 +46,7 @@ from repro.obs.export import (
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "NOOP_SPAN",
     "Registry",
     "SpanRecord",
@@ -54,6 +57,7 @@ __all__ = [
     "export_profile",
     "gauge",
     "get_registry",
+    "histogram",
     "read_jsonl",
     "reset",
     "set_enabled",

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "Registry",
     "SpanRecord",
     "add_profile",
@@ -45,6 +46,7 @@ __all__ = [
     "enabled_scope",
     "gauge",
     "get_registry",
+    "histogram",
     "reset",
     "set_enabled",
     "span",
@@ -127,6 +129,90 @@ class Gauge:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Gauge({self.name}={self._value} {self.unit})"
+
+
+#: Default histogram bucket upper bounds (last bucket is +inf). Powers of
+#: two suit the two quantities the serving layer measures — batch sizes
+#: and queue depths — without configuration.
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Histogram:
+    """Fixed-bucket distribution: counts per bucket plus sum/count/min/max.
+
+    Buckets are defined by ascending upper bounds; a value lands in the
+    first bucket whose bound is ``>= value``, with one implicit overflow
+    bucket at the end. Like counters, histograms are live even when
+    telemetry is disabled (plain lock-protected arithmetic); hot call
+    sites should gate on :func:`enabled` themselves if they care.
+    """
+
+    __slots__ = ("name", "unit", "bounds", "_counts", "_sum", "_count",
+                 "_min", "_max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        unit: str = "count",
+    ):
+        self.name = name
+        self.unit = unit
+        self.bounds = tuple(sorted(bounds))
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = None
+        self._max = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: int | float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+            self._min = None
+            self._max = None
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "unit": self.unit,
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count if self._count else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}: n={self._count})"
 
 
 @dataclass
@@ -234,6 +320,7 @@ class Registry:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
         self.spans: list[SpanRecord] = []
         self.profiles: list[dict] = []
         self.dropped_spans = 0
@@ -281,6 +368,24 @@ class Registry:
                 g = self._gauges[name] = Gauge(name, unit)
             return g
 
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        unit: str = "count",
+    ) -> Histogram:
+        """Get-or-create a live histogram (live even when disabled)."""
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name, bounds, unit)
+            return h
+
+    def histograms(self) -> dict[str, dict]:
+        with self._lock:
+            items = list(self._histograms.items())
+        return {name: h.to_dict() for name, h in items}
+
     def counters(self) -> dict[str, int | float]:
         """Plain ``name -> value`` snapshot of every counter."""
         with self._lock:
@@ -318,10 +423,13 @@ class Registry:
             self.dropped_profiles = 0
             counters = list(self._counters.values())
             gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
         for c in counters:
             c.reset()
         for g in gauges:
             g.reset()
+        for h in histograms:
+            h.reset()
         self.epoch_perf = time.perf_counter()
         self.epoch_wall = time.time()
 
@@ -342,6 +450,7 @@ class Registry:
                 for name, c in dict(self._counters).items()
             },
             "gauges": self.gauges(),
+            "histograms": self.histograms(),
             "spans": spans,
             "profiles": profiles,
         }
@@ -386,6 +495,14 @@ def counter(name: str, unit: str = "count") -> Counter:
 
 def gauge(name: str, unit: str = "value") -> Gauge:
     return _REGISTRY.gauge(name, unit)
+
+
+def histogram(
+    name: str,
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    unit: str = "count",
+) -> Histogram:
+    return _REGISTRY.histogram(name, bounds, unit)
 
 
 def add_profile(record: dict) -> None:

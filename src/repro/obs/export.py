@@ -50,6 +50,10 @@ def write_jsonl(path: str | Path, registry: Registry | None = None) -> Path:
             )
         for name, g in sorted(snap["gauges"].items()):
             fh.write(json.dumps({"type": "gauge", "name": name, **g}) + "\n")
+        for name, h in sorted(snap.get("histograms", {}).items()):
+            fh.write(
+                json.dumps({"type": "histogram", "name": name, **h}) + "\n"
+            )
         for record in snap["spans"]:
             fh.write(json.dumps({"type": "span", **record}) + "\n")
         for record in snap["profiles"]:
@@ -60,7 +64,8 @@ def write_jsonl(path: str | Path, registry: Registry | None = None) -> Path:
 def read_jsonl(path: str | Path) -> dict[str, list[dict]]:
     """Parse a :func:`write_jsonl` file back into records-by-type."""
     grouped: dict[str, list[dict]] = {
-        "meta": [], "counter": [], "gauge": [], "span": [], "profile": [],
+        "meta": [], "counter": [], "gauge": [], "histogram": [],
+        "span": [], "profile": [],
     }
     with Path(path).open() as fh:
         for line in fh:
@@ -212,6 +217,15 @@ def summary_tree(registry: Registry | None = None) -> str:
             lines.append(
                 f"  {name:<36s} {_format_amount(g['value']):>12s} /"
                 f" {_format_amount(g['max'])} {g['unit']}"
+            )
+    histograms = snap.get("histograms", {})
+    if histograms:
+        lines.append("histograms (count / mean / max):")
+        for name, h in sorted(histograms.items()):
+            lines.append(
+                f"  {name:<36s} {_format_amount(h['count']):>12s} /"
+                f" {h['mean']:.3g} / {_format_amount(h['max'] or 0)}"
+                f" {h['unit']}"
             )
     if snap["profiles"]:
         lines.append(f"profiles: {len(snap['profiles'])} records "

@@ -13,6 +13,7 @@ from repro.scnn.layers import (
     set_engine,
     set_num_workers,
     set_simulation,
+    set_stream_lengths,
     straight_through,
     swap_config,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "set_engine",
     "set_num_workers",
     "set_simulation",
+    "set_stream_lengths",
     "straight_through",
     "swap_config",
     "SCConvSimulator",

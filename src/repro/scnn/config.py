@@ -9,7 +9,7 @@ each experimental arm of Fig. 1 / Table I is simply a different config.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 from repro.errors import ConfigurationError
 from repro.sc.accumulate import AccumulationMode
@@ -121,6 +121,28 @@ class SCConfig:
     def with_(self, **kwargs) -> "SCConfig":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (enums as their string values) — the
+        inverse of :meth:`from_dict`; checkpoints and the serving
+        registry persist configs through this."""
+        record = asdict(self)
+        record["sharing"] = self.sharing.value
+        record["accumulation"] = self.accumulation.value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SCConfig":
+        """Rebuild a config from :meth:`to_dict` output; unknown keys are
+        rejected so stale checkpoints fail loudly."""
+        known = {f.name for f in fields(cls)}
+        extra = set(record) - known
+        if extra:
+            raise ConfigurationError(
+                f"unknown SCConfig fields {sorted(extra)} "
+                "(checkpoint from a newer version?)"
+            )
+        return cls(**record)
 
 
 #: The configurations evaluated in Table I, by paper designation.

@@ -148,8 +148,9 @@ def set_simulation(model: Module, flag: bool) -> None:
 
 
 def _reconfigure_execution(model: Module, **kwargs) -> None:
-    """Update execution-only knobs (engine / num_workers / batch_chunk)
-    on every SC layer without rebuilding seed plans or stream tables."""
+    """Update in-place-reconfigurable knobs (engine / num_workers /
+    batch_chunk / stream lengths) on every SC layer; stream-length
+    changes reuse the simulators' cached per-width seed plans."""
     for module in model.modules():
         if isinstance(module, SCModule):
             module.cfg = module.cfg.with_(**kwargs)
@@ -168,6 +169,34 @@ def set_num_workers(model: Module, num_workers: int) -> None:
     """Set the fused-engine worker count on every SC layer (``0`` = one
     worker per CPU; see :mod:`repro.utils.parallel`)."""
     _reconfigure_execution(model, num_workers=num_workers)
+
+
+def set_stream_lengths(
+    model: Module,
+    stream_length: int | None = None,
+    stream_length_pooling: int | None = None,
+    output_stream_length: int | None = None,
+) -> None:
+    """Reconfigure stream lengths on every SC layer *in place*.
+
+    This is SC's unique accuracy/latency knob (shorter streams = fewer
+    bit-ops per MAC) exposed at model granularity — the serving layer
+    uses it to shed load by degrading, then restoring, stream lengths.
+    Unlike :func:`swap_config` nothing is rebuilt: each simulator swaps
+    atomically onto a cached per-width seed plan, so the call is safe
+    while other threads are mid-forward (they finish on the old tier).
+    """
+    kwargs = {
+        key: value
+        for key, value in (
+            ("stream_length", stream_length),
+            ("stream_length_pooling", stream_length_pooling),
+            ("output_stream_length", output_stream_length),
+        )
+        if value is not None
+    }
+    if kwargs:
+        _reconfigure_execution(model, **kwargs)
 
 
 def swap_config(model: Module, cfg: SCConfig) -> None:

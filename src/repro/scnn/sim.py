@@ -24,7 +24,9 @@ for bit-exactness cross-checks.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -196,6 +198,28 @@ def _reduce_products(
 #: simulator's seed plan or stream tables.
 _EXECUTION_KNOBS = frozenset({"engine", "num_workers", "batch_chunk"})
 
+#: Stream-length knobs reconfigurable in place. Changing one swaps the
+#: simulator onto a different (cached) seed plan and a different LRU
+#: stream-table key — this is the serving layer's degrade-under-load
+#: lever (trade accuracy for latency without rebuilding the model).
+_STREAM_KNOBS = frozenset(
+    {"stream_length", "stream_length_pooling", "output_stream_length"}
+)
+
+
+@dataclass(frozen=True)
+class _ExecState:
+    """Immutable snapshot of everything a forward pass reads from the
+    simulator. :meth:`SCConvSimulator.reconfigure` swaps the whole
+    object atomically, so a forward running concurrently in another
+    thread sees either the old state or the new one — never a mix of
+    (say) a new stream length with an old seed plan."""
+
+    cfg: SCConfig
+    length: int
+    bits: int
+    plan: SeedPlan
+
 
 class SCConvSimulator:
     """Bit-true SC forward for one convolution layer.
@@ -221,36 +245,90 @@ class SCConvSimulator:
         padding: int = 0,
     ):
         self.kernel_shape = kernel_shape
-        self.cfg = cfg
         self.role = role
         self.layer_index = layer_index
         self.stride = stride
         self.padding = padding
-        self.length = cfg.length_for(role)
-        self.bits = cfg.bits_for(role)
         self._call_index = 0
-        # Build the plan against an LFSR-sized pool so the sharing limits
-        # ("up to the limit of availability of unique RNG seeds") are
-        # honored uniformly across RNG kinds.
-        pool_source = LFSRSource(self.bits)
-        self.plan: SeedPlan = plan_seeds(
-            cfg.sharing,
-            kernel_shape,
-            pool_source if cfg.rng_kind == "lfsr" else _build_source(cfg, self.bits, layer_index, 0),
-            layer_index=layer_index,
-            root_seed=cfg.root_seed,
+        self._lock = threading.Lock()
+        self._plans: dict[int, SeedPlan] = {}  # per-LFSR-width plan cache
+        self._state = _ExecState(
+            cfg=cfg,
+            length=cfg.length_for(role),
+            bits=cfg.bits_for(role),
+            plan=self._plan_for(cfg, cfg.bits_for(role)),
         )
 
+    def _plan_for(self, cfg: SCConfig, bits: int) -> SeedPlan:
+        """Seed plan for an LFSR width, cached so tier flips between
+        stream lengths (serving degradation) don't re-plan every time.
+
+        The plan is built against an LFSR-sized pool so the sharing
+        limits ("up to the limit of availability of unique RNG seeds")
+        are honored uniformly across RNG kinds.
+        """
+        plan = self._plans.get(bits)
+        if plan is None:
+            pool_source = LFSRSource(bits)
+            plan = plan_seeds(
+                cfg.sharing,
+                self.kernel_shape,
+                pool_source
+                if cfg.rng_kind == "lfsr"
+                else _build_source(cfg, bits, self.layer_index, 0),
+                layer_index=self.layer_index,
+                root_seed=cfg.root_seed,
+            )
+            self._plans[bits] = plan
+        return plan
+
+    # Read-only views onto the current execution state; each property
+    # reads the atomically-swapped snapshot, so consecutive reads during
+    # a concurrent reconfigure may disagree — forward passes therefore
+    # capture ``self._state`` once instead of using these.
+
+    @property
+    def cfg(self) -> SCConfig:
+        return self._state.cfg
+
+    @property
+    def length(self) -> int:
+        return self._state.length
+
+    @property
+    def bits(self) -> int:
+        return self._state.bits
+
+    @property
+    def plan(self) -> SeedPlan:
+        return self._state.plan
+
     def reconfigure(self, **kwargs) -> None:
-        """Update execution knobs (engine, num_workers, batch_chunk) in
-        place; anything affecting streams/seeds needs a new simulator."""
-        bad = set(kwargs) - _EXECUTION_KNOBS
+        """Update execution knobs (engine, num_workers, batch_chunk) or
+        stream lengths in place; anything else affecting streams/seeds
+        (RNG kind, sharing, accumulation) needs a new simulator.
+
+        Stream-length changes swap onto a cached per-width seed plan —
+        this is the serving layer's degrade/restore lever. The swap is
+        atomic: forwards running concurrently in other threads finish on
+        the state they started with, later forwards see the new tier.
+        """
+        allowed = _EXECUTION_KNOBS | _STREAM_KNOBS
+        bad = set(kwargs) - allowed
         if bad:
             raise ConfigurationError(
-                f"only execution knobs {sorted(_EXECUTION_KNOBS)} can be "
-                f"reconfigured in place, got {sorted(bad)}"
+                f"only knobs {sorted(allowed)} can be reconfigured in "
+                f"place, got {sorted(bad)}"
             )
-        self.cfg = self.cfg.with_(**kwargs)
+        with self._lock:
+            cfg = self._state.cfg.with_(**kwargs)
+            bits = cfg.bits_for(self.role)
+            self._state = _ExecState(
+                cfg=cfg,
+                length=cfg.length_for(self.role),
+                bits=bits,
+                plan=self._plan_for(cfg, bits),
+            )
 
     # -- forward ---------------------------------------------------------------
 
@@ -281,44 +359,52 @@ class SCConvSimulator:
                 f"input shape {x.shape} incompatible with Cin={cin}"
             )
 
-        source = _build_source(self.cfg, self.bits, self.layer_index, self._call_index)
-        self._call_index += 1
+        # One atomic snapshot: a concurrent reconfigure() swaps
+        # self._state, but this forward runs end to end on the state it
+        # captured here (config, length, bits, and plan always agree).
+        with self._lock:
+            state = self._state
+            call_index = self._call_index
+            self._call_index += 1
+        cfg, length, bits, plan = state.cfg, state.length, state.bits, state.plan
+
+        source = _build_source(cfg, bits, self.layer_index, call_index)
 
         reg = obs.get_registry()
-        mode = self.cfg.accumulation
+        mode = cfg.accumulation
         bytes_touched = 0
         with reg.span(
             "scnn.conv_forward",
             layer=self.layer_index,
             role=self.role,
             mode=mode.value,
-            engine=self.cfg.engine,
-            length=self.length,
+            engine=cfg.engine,
+            length=length,
         ) as sp:
-            q_act_full = quantize_unipolar(x, self.bits)
+            q_act_full = quantize_unipolar(x, bits)
             w_clipped = np.clip(weight, -1.0, 1.0)
-            q_wpos = quantize_unipolar(np.maximum(w_clipped, 0.0), self.bits)
-            q_wneg = quantize_unipolar(np.maximum(-w_clipped, 0.0), self.bits)
+            q_wpos = quantize_unipolar(np.maximum(w_clipped, 0.0), bits)
+            q_wneg = quantize_unipolar(np.maximum(-w_clipped, 0.0), bits)
 
             # One table serves both operand kinds: the plan's seed pools are
             # disjoint, and the table is indexed by raw seed.
             all_seeds = np.concatenate(
-                [self.plan.weight_seeds.ravel(), self.plan.act_seeds.ravel()]
+                [plan.weight_seeds.ravel(), plan.act_seeds.ravel()]
             )
             table, unique = stream_table(
-                source, self.bits, self.length, all_seeds, self.cfg.progressive
+                source, bits, length, all_seeds, cfg.progressive
             )
-            wp = _lookup(table, unique, self.plan.weight_seeds, q_wpos)
-            wn = _lookup(table, unique, self.plan.weight_seeds, q_wneg)
+            wp = _lookup(table, unique, plan.weight_seeds, q_wpos)
+            wn = _lookup(table, unique, plan.weight_seeds, q_wneg)
 
             n = x.shape[0]
             oh = conv_output_size(x.shape[2], kh, self.stride, self.padding)
             ow = conv_output_size(x.shape[3], kw, self.stride, self.padding)
             out = np.empty((n, cout, oh, ow), dtype=np.float32)
 
-            act_seed_idx = np.searchsorted(unique, self.plan.act_seeds)
-            fused = self.cfg.engine == "fused"
-            chunk = max(1, self.cfg.batch_chunk)
+            act_seed_idx = np.searchsorted(unique, plan.act_seeds)
+            fused = cfg.engine == "fused"
+            chunk = max(1, cfg.batch_chunk)
             for start in range(0, n, chunk):
                 xs = q_act_full[start : start + chunk]
                 with reg.span("scnn.im2col"):
@@ -337,10 +423,10 @@ class SCConvSimulator:
                             wp,
                             wn,
                             mode,
-                            num_workers=self.cfg.num_workers,
+                            num_workers=cfg.num_workers,
                         )  # (nc, Cout, OH*OW)
                     out[start : start + chunk] = (
-                        (signed / self.length)
+                        (signed / length)
                         .astype(np.float32)
                         .reshape(nc, cout, oh, ow)
                     )
@@ -356,7 +442,7 @@ class SCConvSimulator:
                         pos_counts = _reduce_products(act & w_pos_c, mode)
                         neg_counts = _reduce_products(act & w_neg_c, mode)
                         out[start : start + chunk, co] = (
-                            (pos_counts - neg_counts) / self.length
+                            (pos_counts - neg_counts) / length
                         ).astype(np.float32)
         if reg.enabled:
             bytes_touched += table.nbytes + wp.nbytes + wn.nbytes + out.nbytes
@@ -368,16 +454,16 @@ class SCConvSimulator:
                     "layer_index": self.layer_index,
                     "role": self.role,
                     "mode": mode.value,
-                    "engine": self.cfg.engine,
-                    "stream_length": self.length,
-                    "bits": self.bits,
+                    "engine": cfg.engine,
+                    "stream_length": length,
+                    "bits": bits,
                     "kernel_shape": list(self.kernel_shape),
                     "batch": int(n),
                     "output_shape": [int(n), cout, oh, ow],
                     "bytes_touched": int(bytes_touched),
                     "wall_s": sp.wall_s,
                     "cpu_s": sp.cpu_s,
-                    "workers": self.cfg.num_workers,
+                    "workers": cfg.num_workers,
                 }
             )
         return out

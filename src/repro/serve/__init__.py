@@ -1,0 +1,54 @@
+"""Batched SC inference serving: registry, micro-batcher, admission
+control, degrade-under-load, and a stdlib HTTP frontend.
+
+Quickstart (in-process)::
+
+    from repro import models, serve
+    from repro.scnn import SCConfig
+
+    registry = serve.ModelRegistry()
+    registry.register(
+        "cnn4",
+        models.cnn4_sc(SCConfig(stream_length=64), num_classes=10),
+        input_shape=(3, 32, 32),
+    )
+    with serve.InferenceService(registry).start() as service:
+        result = service.predict("cnn4", x)   # x: (3, 32, 32) float32
+        print(result.argmax, result.tier, result.degraded)
+
+Over HTTP::
+
+    server = serve.make_server(service, port=0)
+    server.serve_background()
+    client = serve.HTTPClient(f"http://127.0.0.1:{server.port}")
+    client.predict("cnn4", x)
+"""
+
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.client import Client, HTTPClient
+from repro.serve.policy import DegradeController, ServePolicy
+from repro.serve.registry import (
+    MIN_TIER_LENGTH,
+    ModelEntry,
+    ModelRegistry,
+    tier_ladder,
+)
+from repro.serve.server import ServeHTTPServer, make_server
+from repro.serve.service import InferenceService, PredictResult
+
+__all__ = [
+    "MIN_TIER_LENGTH",
+    "Client",
+    "DegradeController",
+    "HTTPClient",
+    "InferenceService",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "PendingRequest",
+    "PredictResult",
+    "ServeHTTPServer",
+    "ServePolicy",
+    "make_server",
+    "tier_ladder",
+]

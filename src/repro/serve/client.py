@@ -1,0 +1,116 @@
+"""Clients for the serving stack: in-process and over HTTP.
+
+:class:`Client` wraps an :class:`InferenceService` directly — the fast
+path for notebooks and benchmarks sharing the server's process.
+:class:`HTTPClient` speaks the :mod:`repro.serve.server` JSON protocol
+with stdlib ``urllib`` only, mapping the documented status codes back to
+the same exception types the in-process path raises, so calling code is
+transport-agnostic:
+
+* 404 → :class:`~repro.errors.UnknownModelError`
+* 429 → :class:`~repro.errors.QueueFullError`
+* 504 → :class:`~repro.errors.DeadlineExceededError`
+* other non-2xx → :class:`~repro.errors.ServeError`
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    UnknownModelError,
+)
+from repro.serve.service import InferenceService, PredictResult
+
+_ERROR_FOR_STATUS = {
+    404: UnknownModelError,
+    429: QueueFullError,
+    504: DeadlineExceededError,
+}
+
+
+class Client:
+    """Synchronous in-process client over an :class:`InferenceService`."""
+
+    def __init__(self, service: InferenceService):
+        self.service = service
+
+    def predict(
+        self,
+        model: str,
+        x: np.ndarray,
+        deadline_s: float | None = -1.0,
+    ) -> PredictResult:
+        return self.service.predict(model, x, deadline_s)
+
+    def predict_many(
+        self,
+        model: str,
+        xs: np.ndarray,
+        deadline_s: float | None = -1.0,
+    ) -> list[PredictResult]:
+        return self.service.predict_many(model, xs, deadline_s)
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+    def healthz(self) -> dict:
+        return {"status": "ok", "models": self.service.registry.names()}
+
+
+class HTTPClient:
+    """Same surface as :class:`Client`, over the JSON HTTP endpoint.
+
+    Responses come back as plain dicts (the wire format of
+    :meth:`PredictResult.to_dict`) rather than result objects.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, path: str, payload: dict | None = None) -> dict | list:
+        url = f"{self.base_url}{path}"
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="GET" if payload is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as r:
+                return json.loads(r.read())
+        except urllib.error.HTTPError as err:
+            try:
+                detail = json.loads(err.read()).get("detail", "")
+            except (json.JSONDecodeError, ValueError):
+                detail = err.reason
+            kind = _ERROR_FOR_STATUS.get(err.code, ServeError)
+            raise kind(f"HTTP {err.code}: {detail}") from None
+        except urllib.error.URLError as err:
+            raise ServeError(f"cannot reach {url}: {err.reason}") from None
+
+    def predict(
+        self,
+        model: str,
+        x: np.ndarray,
+        deadline_ms: float | None = None,
+    ) -> dict | list:
+        payload = {"model": model, "inputs": np.asarray(x).tolist()}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._request("/predict", payload)
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")

@@ -1,0 +1,151 @@
+"""Stdlib HTTP frontend over :class:`~repro.serve.service.InferenceService`.
+
+Endpoints (JSON in, JSON out):
+
+* ``POST /predict`` — body ``{"model": str, "inputs": nested list,
+  "deadline_ms": number?}``; ``inputs`` is one sample (model input
+  shape) or a batch (leading axis). Response: one result dict or a list
+  of them (see :meth:`PredictResult.to_dict`).
+* ``GET /healthz`` — liveness plus registered model names.
+* ``GET /stats`` — the full :meth:`InferenceService.stats` payload.
+
+Errors map onto status codes the way a client expects to branch on
+them: 400 malformed request / bad shape, 404 unknown model, 429 queue
+full (back off and retry), 504 deadline exceeded. ``ThreadingHTTPServer``
+gives one thread per connection; all cross-request coordination lives in
+the service, so the handler is stateless.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    ShapeError,
+    UnknownModelError,
+)
+from repro.serve.service import InferenceService
+
+_STATUS_FOR = (
+    (UnknownModelError, 404),
+    (QueueFullError, 429),
+    (DeadlineExceededError, 504),
+    (ShapeError, 400),
+)
+
+
+def _status_for(error: Exception) -> int:
+    for kind, status in _STATUS_FOR:
+        if isinstance(error, kind):
+            return status
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service reference hangs off the server object."""
+
+    server: "ServeHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, error: Exception) -> None:
+        self._send_json(
+            status, {"error": type(error).__name__, "detail": str(error)}
+        )
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(
+                200, {"status": "ok", "models": service.registry.names()}
+            )
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        else:
+            self._send_json(404, {"error": "NotFound", "detail": self.path})
+
+    def do_POST(self):  # noqa: N802 - stdlib casing
+        if self.path != "/predict":
+            self._send_json(404, {"error": "NotFound", "detail": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            model = request["model"]
+            inputs = np.asarray(request["inputs"], dtype=np.float32)
+            deadline_ms = request.get("deadline_ms")
+            deadline_s = -1.0 if deadline_ms is None else deadline_ms / 1e3
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as err:
+            self._send_error_json(400, err)
+            return
+        service = self.server.service
+        try:
+            entry = service.registry.get(model)
+            if inputs.shape == entry.input_shape:
+                result = service.predict(model, inputs, deadline_s)
+                self._send_json(200, result.to_dict())
+            elif inputs.shape[1:] == entry.input_shape:
+                results = service.predict_many(model, inputs, deadline_s)
+                self._send_json(200, [r.to_dict() for r in results])
+            else:
+                raise ShapeError(
+                    f"inputs shape {inputs.shape} matches neither sample "
+                    f"shape {entry.input_shape} nor a batch of it"
+                )
+        except ReproError as err:
+            self._send_error_json(_status_for(err), err)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`InferenceService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: InferenceService, verbose=False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_background(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread (tests, CLI)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="serve-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def make_server(
+    service: InferenceService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServeHTTPServer:
+    """Bind (``port=0`` picks a free one); caller starts/stops it."""
+    return ServeHTTPServer((host, port), service, verbose=verbose)

@@ -1,0 +1,384 @@
+"""The inference service: admission → micro-batch → dispatch → respond.
+
+One dispatcher thread pulls coalesced batches from the
+:class:`~repro.serve.batcher.MicroBatcher` and hands each to the shared
+worker pool (:func:`repro.utils.parallel.submit`), so batches for
+*different* models execute concurrently while each model's entry lock
+keeps its own forwards serial (tier flips can't land mid-batch).
+
+Every request is accounted for exactly once, which the overload
+acceptance test checks end to end::
+
+    accepted == completed + expired + failed + in_flight + queued
+
+Instrumentation (:mod:`repro.obs`): ``serve.queue_depth`` gauge,
+``serve.batch_size`` histogram, ``serve.request_latency_ms`` histogram,
+per-stage spans (``serve.dispatch`` / ``serve.model_forward``), and
+counters for accepted / rejected / expired / completed / failed / late.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ShapeError,
+)
+from repro.obs.core import Counter, Histogram
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.policy import DegradeController, ServePolicy
+from repro.serve.registry import ModelEntry, ModelRegistry
+from repro.utils import parallel
+from repro.utils.parallel import resolve_workers
+
+#: Latency histogram buckets (milliseconds).
+_LATENCY_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+
+class _Stat:
+    """Per-service counter that mirrors into the global obs registry.
+
+    Service statistics must be scoped to one :class:`InferenceService`
+    (two services — or two tests — must not share totals), while fleet
+    telemetry wants the process-wide ``serve.*`` counters. One ``add``
+    feeds both.
+    """
+
+    __slots__ = ("local", "global_")
+
+    def __init__(self, name: str):
+        self.local = Counter(name)
+        self.global_ = obs.counter(name)
+
+    def add(self, amount: int = 1) -> None:
+        self.local.add(amount)
+        self.global_.add(amount)
+
+    @property
+    def value(self) -> int | float:
+        return self.local.value
+
+
+class _StatHistogram:
+    """Per-service histogram mirrored into the global obs registry."""
+
+    __slots__ = ("local", "global_")
+
+    def __init__(self, name: str, bounds=None, unit: str = "count"):
+        kwargs = {} if bounds is None else {"bounds": bounds}
+        self.local = Histogram(name, unit=unit, **kwargs)
+        self.global_ = obs.histogram(name, unit=unit, **kwargs)
+
+    def observe(self, value: int | float) -> None:
+        self.local.observe(value)
+        self.global_.observe(value)
+
+    def to_dict(self) -> dict:
+        return self.local.to_dict()
+
+
+@dataclass(frozen=True)
+class PredictResult:
+    """One request's answer plus its serving context."""
+
+    model: str
+    outputs: np.ndarray  # per-sample logits (num_classes,)
+    tier: int  # stream-length tier the forward ran at
+    degraded: bool  # tier > 0 — shorter-than-native streams
+    latency_s: float  # enqueue -> response
+    late: bool  # completed after its deadline (still delivered)
+
+    @property
+    def argmax(self) -> int:
+        return int(np.argmax(self.outputs))
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "outputs": self.outputs.tolist(),
+            "argmax": self.argmax,
+            "tier": self.tier,
+            "degraded": self.degraded,
+            "latency_ms": self.latency_s * 1e3,
+            "late": self.late,
+        }
+
+
+class InferenceService:
+    """Batched SC inference over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        policy: ServePolicy | None = None,
+        clock=time.monotonic,
+    ):
+        self.registry = registry
+        self.policy = policy or ServePolicy()
+        self.clock = clock
+        self.batcher = MicroBatcher(
+            max_batch=self.policy.max_batch,
+            max_wait_s=self.policy.max_wait_s,
+            max_queue=self.policy.max_queue,
+            clock=clock,
+        )
+        self._controllers: dict[str, DegradeController] = {}
+        self._in_flight = 0
+        # Bounds concurrently executing batches to the worker count, so
+        # backlog stays in the batcher queue — where depth drives the
+        # degrade signal, coalescing sees it, and expiry still applies —
+        # instead of piling up invisibly behind the pool.
+        self._inflight_slots = threading.Semaphore(
+            resolve_workers(self.policy.dispatch_workers)
+        )
+        self._state_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._dispatcher: threading.Thread | None = None
+        self._accepted = _Stat("serve.requests_accepted")
+        self._rejected = _Stat("serve.requests_rejected_queue_full")
+        self._expired = _Stat("serve.requests_expired")
+        self._completed = _Stat("serve.requests_completed")
+        self._failed = _Stat("serve.requests_failed")
+        self._late = _Stat("serve.requests_late")
+        self._batches = _Stat("serve.batches_dispatched")
+        self._batch_hist = _StatHistogram("serve.batch_size", unit="requests")
+        self._latency_hist = _StatHistogram(
+            "serve.request_latency_ms", bounds=_LATENCY_BUCKETS, unit="ms"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "InferenceService":
+        if self._dispatcher is not None:
+            return self
+        self._stop.clear()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop dispatching; queued requests fail with :class:`ServeError`."""
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+            self._dispatcher = None
+        for request in self.batcher.drain():
+            self._failed.add(1)
+            request.future.set_exception(ServeError("service stopped"))
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path --------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        x: np.ndarray,
+        deadline_s: float | None = -1.0,
+    ) -> "tuple[PendingRequest, ModelEntry]":
+        """Admit one sample; returns the pending request (with future).
+
+        ``deadline_s`` is relative to now; the sentinel ``-1.0`` selects
+        the policy default, ``None`` disables the deadline. Raises
+        :class:`UnknownModelError` / :class:`ShapeError` /
+        :class:`QueueFullError` — admission failures are synchronous, so
+        a rejected request never consumes queue space.
+        """
+        entry = self.registry.get(model)
+        sample = np.asarray(x, dtype=np.float32)
+        if sample.shape != entry.input_shape:
+            raise ShapeError(
+                f"sample shape {sample.shape} != model {model!r} "
+                f"input shape {entry.input_shape}"
+            )
+        if deadline_s == -1.0:
+            deadline_s = self.policy.default_deadline_s
+        now = self.clock()
+        request = PendingRequest(
+            model=model,
+            x=sample,
+            enqueued_at=now,
+            deadline_at=None if deadline_s is None else now + deadline_s,
+        )
+        if not self.batcher.offer(request):
+            self._rejected.add(1)
+            raise QueueFullError(
+                f"queue at capacity ({self.policy.max_queue}); retry later"
+            )
+        self._accepted.add(1)
+        return request, entry
+
+    def predict(
+        self,
+        model: str,
+        x: np.ndarray,
+        deadline_s: float | None = -1.0,
+    ) -> PredictResult:
+        """Synchronous single-sample inference (waits on the future)."""
+        request, _ = self.submit(model, x, deadline_s)
+        return request.future.result()
+
+    def predict_many(
+        self,
+        model: str,
+        xs: np.ndarray,
+        deadline_s: float | None = -1.0,
+    ) -> list[PredictResult]:
+        """Submit a multi-sample request; the batcher re-coalesces the
+        samples (possibly with other clients') and results come back in
+        input order. Raises the first per-sample failure."""
+        requests = [self.submit(model, x, deadline_s)[0] for x in xs]
+        return [r.future.result() for r in requests]
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _controller(self, entry: ModelEntry) -> DegradeController:
+        controller = self._controllers.get(entry.name)
+        if controller is None:
+            controller = DegradeController(
+                self.policy, entry.max_tier, clock=self.clock
+            )
+            self._controllers[entry.name] = controller
+        return controller
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self._inflight_slots.acquire(timeout=0.05):
+                continue
+            batch, expired = self.batcher.next_batch(timeout=0.05)
+            self._fail_expired(expired)
+            if not batch:
+                self._inflight_slots.release()
+                continue
+            with self._state_lock:
+                self._in_flight += len(batch)
+            # The shared pool overlaps batches of different models; the
+            # entry lock keeps one model's batches serial.
+            parallel.submit(
+                self._run_batch,
+                batch,
+                num_workers=self.policy.dispatch_workers,
+            )
+
+    def _fail_expired(self, expired: list[PendingRequest]) -> None:
+        for request in expired:
+            self._expired.add(1)
+            request.future.set_exception(
+                DeadlineExceededError(
+                    f"deadline elapsed after "
+                    f"{self.clock() - request.enqueued_at:.3f}s in queue"
+                )
+            )
+
+    def _run_batch(self, batch: list[PendingRequest]) -> None:
+        entry = self.registry.get(batch[0].model)
+        try:
+            controller = self._controller(entry)
+            target = controller.observe(self.batcher.depth())
+            if target != entry.tier:
+                entry.set_tier(target)
+            self._batches.add(1)
+            self._batch_hist.observe(len(batch))
+            with obs.span(
+                "serve.dispatch", model=entry.name, batch=len(batch)
+            ):
+                stacked = np.stack([r.x for r in batch])
+                with obs.span("serve.model_forward", model=entry.name):
+                    logits, tier = entry.forward(stacked)
+                now = self.clock()
+                for i, request in enumerate(batch):
+                    latency = now - request.enqueued_at
+                    late = (
+                        request.deadline_at is not None
+                        and now > request.deadline_at
+                    )
+                    if late:
+                        self._late.add(1)
+                    self._completed.add(1)
+                    self._latency_hist.observe(latency * 1e3)
+                    request.future.set_result(
+                        PredictResult(
+                            model=entry.name,
+                            outputs=logits[i],
+                            tier=tier,
+                            degraded=tier > 0,
+                            latency_s=latency,
+                            late=late,
+                        )
+                    )
+        except Exception as error:  # noqa: BLE001 - futures must resolve
+            for request in batch:
+                if not request.future.done():
+                    self._failed.add(1)
+                    request.future.set_exception(error)
+        finally:
+            with self._state_lock:
+                self._in_flight -= len(batch)
+            self._inflight_slots.release()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time service statistics (the ``/stats`` payload).
+
+        ``accounting.balanced`` asserts conservation: every accepted
+        request is completed, expired, failed, still queued, or in
+        flight — nothing is ever silently dropped.
+        """
+        with self._state_lock:
+            in_flight = self._in_flight
+        queued = self.batcher.depth()
+        accepted = self._accepted.value
+        completed = self._completed.value
+        expired = self._expired.value
+        failed = self._failed.value
+        models = {}
+        for name in self.registry.names():
+            entry = self.registry.get(name)
+            models[name] = {
+                "tier": entry.tier,
+                "max_tier": entry.max_tier,
+                "tier_lengths": entry.tiers[entry.tier],
+                "input_shape": list(entry.input_shape),
+            }
+        return {
+            "models": models,
+            "queue": {
+                "depth": queued,
+                "capacity": self.policy.max_queue,
+                "max_batch": self.policy.max_batch,
+                "max_wait_ms": self.policy.max_wait_s * 1e3,
+            },
+            "requests": {
+                "accepted": accepted,
+                "rejected_queue_full": self._rejected.value,
+                "completed": completed,
+                "expired": expired,
+                "failed": failed,
+                "late": self._late.value,
+                "in_flight": in_flight,
+            },
+            "batches": {
+                "dispatched": self._batches.value,
+                "size": self._batch_hist.to_dict(),
+            },
+            "latency_ms": self._latency_hist.to_dict(),
+            "accounting": {
+                "balanced": accepted
+                == completed + expired + failed + in_flight + queued,
+            },
+        }

@@ -17,6 +17,7 @@ from repro.utils.parallel import (
     resolve_workers,
     shard_slices,
     shutdown_pool,
+    submit,
 )
 from repro.utils.seeding import SeedSequenceFactory, derive_seed
 from repro.utils.report import Table, format_ratio
@@ -35,6 +36,7 @@ __all__ = [
     "resolve_workers",
     "shard_slices",
     "shutdown_pool",
+    "submit",
     "SeedSequenceFactory",
     "derive_seed",
     "Table",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro import obs
@@ -146,6 +146,28 @@ def parallel_map(
             max(durations) * len(durations) / busy
         )
     return results
+
+
+def submit(
+    fn: Callable[..., _R],
+    *args,
+    num_workers: int | None = 0,
+    **kwargs,
+) -> "Future[_R]":
+    """Run ``fn(*args, **kwargs)`` on the shared pool; returns a future.
+
+    Fire-and-collect counterpart to :func:`parallel_map` for callers that
+    overlap heterogeneous work instead of sharding one array — the
+    serving dispatcher uses it to keep batches for *different* models in
+    flight concurrently. ``num_workers`` follows the usual convention
+    (``0`` = one thread per CPU); a resolved count of 1 still goes
+    through a single-thread pool so the returned future is uniform.
+    """
+    pool = get_pool(resolve_workers(num_workers))
+    reg = obs.get_registry()
+    if reg.enabled:
+        reg.counter("parallel.submitted").add(1)
+    return pool.submit(fn, *args, **kwargs)
 
 
 def shard_slices(total: int, parts: int) -> list[slice]:

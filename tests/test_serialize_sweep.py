@@ -6,9 +6,19 @@ import pytest
 from repro import nn
 from repro.arch.sweep import DesignPoint, best_under_area, pareto_frontier, sweep
 from repro.errors import ConfigurationError
+from repro.models.cnn4 import cnn4_sc
 from repro.models.shapes import cnn4_shapes
-from repro.nn.serialize import load_checkpoint, peek_metadata, save_checkpoint
-from repro.nn.tensor import Tensor
+from repro.nn.serialize import (
+    MODEL_BUILDERS,
+    build_from_spec,
+    load_checkpoint,
+    load_model,
+    model_spec,
+    peek_metadata,
+    save_checkpoint,
+    save_model,
+)
+from repro.nn.tensor import Tensor, no_grad
 from repro.scnn import SCConfig
 from repro.scnn.layers import SCConv2d
 
@@ -67,6 +77,111 @@ class TestCheckpointing:
         )
 
 
+class TestStrictLoading:
+    """Silent partial restores are the failure mode strict mode kills."""
+
+    def make_model(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return nn.Sequential(
+            nn.Conv2d(1, 4, 3, rng=rng),
+            nn.BatchNorm2d(4),
+            nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 3, rng=rng),
+        )
+
+    def test_missing_keys_rejected(self):
+        model = self.make_model()
+        state = model.state_dict()
+        state.pop(next(k for k in state if "running_mean" in k))
+        with pytest.raises(ConfigurationError, match="missing"):
+            self.make_model().load_state_dict(state, strict=True)
+
+    def test_unexpected_keys_rejected(self):
+        model = self.make_model()
+        state = model.state_dict()
+        state["layers.9.weight"] = np.zeros(3)
+        with pytest.raises(ConfigurationError, match="unexpected"):
+            self.make_model().load_state_dict(state, strict=True)
+
+    def test_shape_mismatch_rejected(self):
+        model = self.make_model()
+        state = model.state_dict()
+        key = next(k for k in state if k.endswith("weight"))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ConfigurationError):
+            self.make_model().load_state_dict(state, strict=True)
+
+    def test_non_strict_partial_restore_still_allowed(self):
+        model = self.make_model()
+        state = model.state_dict()
+        keep = {k: v for k, v in state.items() if "Linear" not in k}
+        self.make_model().load_state_dict(keep, strict=False)
+
+
+class TestModelSpecs:
+    """save_model checkpoints are self-contained servable artifacts."""
+
+    SC_KWARGS = dict(
+        num_classes=4, in_channels=1, input_size=16, width_mult=0.5, seed=9
+    )
+
+    def test_every_builder_rebuilds_from_spec(self):
+        cfg = SCConfig(stream_length=16, stream_length_pooling=16)
+        for builder in MODEL_BUILDERS:
+            kwargs = {"num_classes": 2, "width_mult": 0.25, "seed": 1}
+            if builder.startswith("vgg16"):
+                kwargs["input_size"] = 32
+            spec = model_spec(
+                builder,
+                kwargs,
+                sc_config=cfg if builder.endswith("_sc") else None,
+            )
+            model = build_from_spec(spec)
+            assert model.num_parameters() > 0, builder
+
+    def test_unknown_builder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model_spec("resnet50")
+
+    def test_sc_builder_requires_config(self):
+        with pytest.raises(ConfigurationError):
+            model_spec("cnn4_sc")
+
+    def test_load_model_forward_equivalence(self, tmp_path):
+        """The registry's contract: a loaded model computes exactly what
+        the saved one did, SC bit-streams included."""
+        cfg = SCConfig(stream_length=16, stream_length_pooling=16)
+        original = cnn4_sc(cfg, **self.SC_KWARGS)
+        path = save_model(
+            original,
+            tmp_path / "cnn4",
+            builder="cnn4_sc",
+            builder_kwargs=self.SC_KWARGS,
+            sc_config=cfg,
+            metadata={"note": "unit-test"},
+        )
+        restored, meta = load_model(path)
+        assert meta["note"] == "unit-test"
+        assert meta["model_spec"]["builder"] == "cnn4_sc"
+        x = np.random.default_rng(5).uniform(0, 1, (2, 1, 16, 16)).astype(
+            np.float32
+        )
+        original.eval(), restored.eval()
+        with no_grad():
+            a = original(Tensor(x.copy())).data
+            b = restored(Tensor(x.copy())).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_load_model_without_spec_rejected(self, tmp_path):
+        model = cnn4_sc(
+            SCConfig(stream_length=16, stream_length_pooling=16),
+            **self.SC_KWARGS,
+        )
+        path = save_checkpoint(model, tmp_path / "bare")
+        with pytest.raises(ConfigurationError, match="model spec"):
+            load_model(path)
+
+
 class TestSweep:
     @pytest.fixture(scope="class")
     def points(self):
@@ -108,6 +223,20 @@ class TestSweep:
     def test_empty_workload_rejected(self):
         with pytest.raises(ConfigurationError):
             sweep([])
+
+    def test_parallel_sweep_matches_serial_in_grid_order(self, points):
+        parallel_points = sweep(
+            cnn4_shapes(32),
+            rows_options=(16, 32),
+            row_width_options=(400, 800),
+            stream_options=((32, 64),),
+            num_workers=4,
+        )
+        assert len(parallel_points) == len(points)
+        for serial, sharded in zip(points, parallel_points):
+            assert serial.label == sharded.label  # deterministic order
+            assert serial.area_mm2 == sharded.area_mm2
+            assert serial.frames_per_second == sharded.frames_per_second
 
     def test_dominance_logic(self):
         from repro.arch.geo import GEO_ULP

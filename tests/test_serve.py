@@ -1,0 +1,504 @@
+"""Tests for the serving stack: batcher, policy, registry, service, HTTP.
+
+The coalescing / flush / expiry / hysteresis logic is exercised through
+injected fake clocks and direct ``poll()`` calls — no sleeps anywhere in
+the happy path. Real threads appear only where concurrency itself is the
+property under test (service integration, reconfigure safety, HTTP).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn, serve
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    QueueFullError,
+    ShapeError,
+    UnknownModelError,
+)
+from repro.models.cnn4 import cnn4_sc
+from repro.scnn import SCConfig
+from repro.scnn.layers import SCConv2d, set_stream_lengths
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.policy import DegradeController, ServePolicy
+from repro.serve.registry import MIN_TIER_LENGTH, ModelRegistry, tier_ladder
+
+
+class FakeClock:
+    """Deterministic monotonic clock for sleep-free timing tests."""
+
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+def _request(clock, model="m", deadline_s=None, value=0.0):
+    now = clock()
+    return PendingRequest(
+        model=model,
+        x=np.full((2,), value, dtype=np.float32),
+        enqueued_at=now,
+        deadline_at=None if deadline_s is None else now + deadline_s,
+    )
+
+
+def _fp_model(seed=0, features=8, classes=3):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(features, 16, rng=rng),
+        nn.ReLU(),
+        nn.Linear(16, classes, rng=rng),
+    )
+
+
+def _sc_model(stream_length=32, seed=0):
+    cfg = SCConfig(
+        stream_length=stream_length, stream_length_pooling=stream_length
+    )
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        SCConv2d(1, 2, 3, cfg, rng=rng),
+        nn.Flatten(),
+        nn.Linear(2 * 4 * 4, 3, rng=rng),
+    ), cfg
+
+
+class TestTierLadder:
+    def test_halves_each_role_per_tier(self):
+        cfg = SCConfig(stream_length=64, stream_length_pooling=128)
+        ladder = tier_ladder(cfg, 3)
+        assert ladder[0]["stream_length"] == 64
+        assert ladder[1]["stream_length"] == 32
+        assert ladder[2]["stream_length"] == 16
+        assert ladder[1]["stream_length_pooling"] == 64
+        assert ladder[2]["output_stream_length"] == 32
+
+    def test_floor_dedupes_tail_tiers(self):
+        cfg = SCConfig(
+            stream_length=MIN_TIER_LENGTH,
+            stream_length_pooling=MIN_TIER_LENGTH,
+            output_stream_length=MIN_TIER_LENGTH,
+        )
+        assert len(tier_ladder(cfg, 4)) == 1  # already at the floor
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tier_ladder(SCConfig(stream_length=64), 0)
+
+
+class TestMicroBatcher:
+    def test_full_batch_releases_immediately(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=3, max_wait_s=1.0, clock=clock)
+        requests = [_request(clock, value=i) for i in range(3)]
+        for r in requests:
+            assert b.offer(r)
+        batch, expired = b.poll()
+        assert expired == []
+        assert batch == requests  # arrival order
+        assert b.depth() == 0
+
+    def test_partial_batch_waits_then_flushes(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=8, max_wait_s=0.010, clock=clock)
+        b.offer(_request(clock))
+        clock.advance(0.004)
+        b.offer(_request(clock))
+        batch, _ = b.poll()
+        assert batch is None  # oldest has waited only 4ms of 10
+        clock.advance(0.006)
+        batch, _ = b.poll()
+        assert batch is not None and len(batch) == 2
+
+    def test_queue_full_refuses_admission(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=2, max_queue=2, clock=clock)
+        assert b.offer(_request(clock))
+        assert b.offer(_request(clock))
+        assert not b.offer(_request(clock))
+        assert b.depth() == 2
+
+    def test_expired_requests_removed_not_batched(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=2, max_wait_s=0.010, clock=clock)
+        stale = _request(clock, deadline_s=0.005)
+        b.offer(stale)
+        fresh = _request(clock, deadline_s=10.0)
+        b.offer(fresh)
+        clock.advance(0.006)  # stale's deadline passed, batch not full
+        batch, expired = b.poll()
+        assert expired == [stale]
+        assert batch is None or stale not in batch
+        assert b.depth() + (len(batch) if batch else 0) == 1
+
+    def test_deadline_near_releases_early(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=8, max_wait_s=0.010, clock=clock)
+        b.offer(_request(clock, deadline_s=0.008))
+        # Deadline (8ms away) is inside the 10ms wait window: another
+        # full wait would expire it, so the singleton ships now.
+        batch, expired = b.poll()
+        assert expired == []
+        assert batch is not None and len(batch) == 1
+
+    def test_batches_group_by_model_preserving_order(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=8, max_wait_s=0.0, clock=clock)
+        a1, b1, a2 = (
+            _request(clock, "a"), _request(clock, "b"), _request(clock, "a")
+        )
+        for r in (a1, b1, a2):
+            b.offer(r)
+        batch, _ = b.poll()
+        assert batch == [a1, a2]  # head's model, arrival order
+        batch, _ = b.poll()
+        assert batch == [b1]  # other model kept its place
+
+    def test_blocking_next_batch_times_out_empty(self):
+        b = MicroBatcher(max_batch=2)
+        batch, expired = b.next_batch(timeout=0.01)
+        assert batch is None and expired == []
+
+    def test_drain_empties_queue(self):
+        clock = FakeClock()
+        b = MicroBatcher(max_batch=8, max_wait_s=1.0, clock=clock)
+        requests = [_request(clock) for _ in range(3)]
+        for r in requests:
+            b.offer(r)
+        assert b.drain() == requests
+        assert b.depth() == 0
+
+
+class TestDegradeController:
+    def policy(self, **kw):
+        base = dict(
+            degrade_high_watermark=10,
+            degrade_low_watermark=2,
+            cooldown_s=1.0,
+        )
+        base.update(kw)
+        return ServePolicy(**base)
+
+    def test_degrades_above_high_watermark(self):
+        clock = FakeClock()
+        c = DegradeController(self.policy(), max_tier=2, clock=clock)
+        assert c.observe(10) == 1
+
+    def test_cooldown_blocks_consecutive_steps(self):
+        clock = FakeClock()
+        c = DegradeController(self.policy(), max_tier=2, clock=clock)
+        assert c.observe(50) == 1
+        assert c.observe(50) == 1  # still cooling down
+        clock.advance(1.1)
+        assert c.observe(50) == 2  # second step after cooldown
+        clock.advance(1.1)
+        assert c.observe(50) == 2  # clamped at max_tier
+
+    def test_recovers_below_low_watermark_with_hysteresis(self):
+        clock = FakeClock()
+        c = DegradeController(self.policy(), max_tier=2, clock=clock)
+        c.observe(50)
+        clock.advance(1.1)
+        assert c.observe(5) == 1  # between watermarks: hold
+        assert c.observe(2) == 0  # at/below low watermark: recover
+        assert c.transitions == 2
+
+    def test_recovery_also_cooldown_gated(self):
+        clock = FakeClock()
+        c = DegradeController(self.policy(), max_tier=3, clock=clock)
+        c.observe(50)
+        clock.advance(1.1)
+        c.observe(50)
+        clock.advance(1.1)
+        assert c.observe(0) == 1
+        assert c.observe(0) == 1  # cooldown: no double recovery
+        clock.advance(1.1)
+        assert c.observe(0) == 0
+
+    def test_non_degradable_model_never_moves(self):
+        clock = FakeClock()
+        c = DegradeController(self.policy(), max_tier=0, clock=clock)
+        assert c.observe(10_000) == 0
+        assert c.transitions == 0
+
+
+class TestServePolicy:
+    def test_queue_must_hold_a_batch(self):
+        with pytest.raises(ConfigurationError):
+            ServePolicy(max_batch=16, max_queue=8)
+
+    def test_watermarks_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            ServePolicy(degrade_high_watermark=2, degrade_low_watermark=2)
+
+    def test_deadline_must_be_positive_or_none(self):
+        with pytest.raises(ConfigurationError):
+            ServePolicy(default_deadline_s=0)
+        ServePolicy(default_deadline_s=None)  # explicit no-deadline is fine
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        reg = ModelRegistry()
+        reg.register("m", _fp_model(), input_shape=(8,), warm=False)
+        with pytest.raises(ConfigurationError):
+            reg.register("m", _fp_model(), input_shape=(8,), warm=False)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnknownModelError):
+            ModelRegistry().get("ghost")
+
+    def test_sc_config_discovered_and_tiers_built(self):
+        model, cfg = _sc_model()
+        reg = ModelRegistry()
+        entry = reg.register("sc", model, input_shape=(1, 6, 6), warm=False)
+        assert entry.sc_config is cfg
+        assert entry.degradable and entry.max_tier >= 1
+
+    def test_set_tier_changes_simulator_lengths(self):
+        model, cfg = _sc_model(stream_length=32)
+        reg = ModelRegistry()
+        entry = reg.register("sc", model, input_shape=(1, 6, 6), warm=False)
+        conv = model.layers[0]
+        assert conv.simulator.length == 32
+        entry.set_tier(1)
+        assert conv.simulator.length == 16
+        entry.set_tier(0)
+        assert conv.simulator.length == 32
+
+    def test_warm_runs_every_tier_and_ends_native(self):
+        model, _ = _sc_model()
+        reg = ModelRegistry()
+        entry = reg.register("sc", model, input_shape=(1, 6, 6), warm=True)
+        assert entry.tier == 0
+
+    def test_forward_reports_serving_tier(self):
+        model, _ = _sc_model()
+        reg = ModelRegistry()
+        entry = reg.register("sc", model, input_shape=(1, 6, 6), warm=False)
+        entry.set_tier(1)
+        logits, tier = entry.forward(np.zeros((2, 1, 6, 6), np.float32))
+        assert logits.shape == (2, 3)
+        assert tier == 1
+
+
+class TestServiceIntegration:
+    def make_service(self, **policy_kw):
+        registry = ModelRegistry()
+        model = _fp_model()
+        registry.register("fp", model, input_shape=(8,), warm=False)
+        base = dict(max_batch=4, max_wait_s=0.002, max_queue=16)
+        base.update(policy_kw)
+        return serve.InferenceService(registry, ServePolicy(**base)), model
+
+    def test_predict_matches_direct_forward(self):
+        service, model = self.make_service()
+        x = np.linspace(0, 1, 8, dtype=np.float32)
+        with service:
+            result = service.predict("fp", x)
+        from repro.nn.tensor import Tensor, no_grad
+
+        with no_grad():
+            direct = model(Tensor(x[None].copy())).data[0]
+        np.testing.assert_allclose(result.outputs, direct, rtol=1e-6)
+        assert result.tier == 0 and not result.degraded
+        assert result.latency_s >= 0
+
+    def test_predict_many_preserves_input_order(self):
+        service, model = self.make_service()
+        rng = np.random.default_rng(2)
+        xs = rng.uniform(0, 1, (6, 8)).astype(np.float32)
+        with service:
+            results = service.predict_many("fp", xs)
+        from repro.nn.tensor import Tensor, no_grad
+
+        with no_grad():
+            direct = model(Tensor(xs.copy())).data
+        for i, r in enumerate(results):
+            np.testing.assert_allclose(r.outputs, direct[i], rtol=1e-6)
+
+    def test_admission_errors_are_synchronous(self):
+        service, _ = self.make_service()
+        with service:
+            with pytest.raises(UnknownModelError):
+                service.predict("ghost", np.zeros(8, np.float32))
+            with pytest.raises(ShapeError):
+                service.predict("fp", np.zeros(7, np.float32))
+
+    def test_queue_full_backpressure(self):
+        # Dispatcher not started: the queue can only fill.
+        service, _ = self.make_service(max_batch=2, max_queue=2)
+        x = np.zeros(8, np.float32)
+        service.submit("fp", x)
+        service.submit("fp", x)
+        with pytest.raises(QueueFullError):
+            service.submit("fp", x)
+        stats = service.stats()
+        assert stats["requests"]["rejected_queue_full"] == 1
+        assert stats["requests"]["accepted"] == 2
+        assert stats["accounting"]["balanced"]
+
+    def test_expired_request_fails_with_deadline_error(self):
+        service, _ = self.make_service(max_wait_s=0.02)
+        with service:
+            with pytest.raises(DeadlineExceededError):
+                service.predict("fp", np.zeros(8, np.float32), deadline_s=1e-9)
+        stats = service.stats()
+        assert stats["requests"]["expired"] == 1
+        assert stats["accounting"]["balanced"]
+
+    def test_overload_every_request_accounted_for(self):
+        service, _ = self.make_service(
+            max_batch=2, max_queue=4, max_wait_s=0.0
+        )
+        x = np.zeros(8, np.float32)
+        outcomes = {"ok": 0, "rejected": 0, "expired": 0}
+        lock = threading.Lock()
+
+        def client():
+            for _ in range(10):
+                try:
+                    service.predict("fp", x, deadline_s=0.5)
+                    key = "ok"
+                except QueueFullError:
+                    key = "rejected"
+                except DeadlineExceededError:
+                    key = "expired"
+                with lock:
+                    outcomes[key] += 1
+
+        with service:
+            threads = [threading.Thread(target=client) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = service.stats()
+        assert sum(outcomes.values()) == 80
+        requests = stats["requests"]
+        assert requests["accepted"] == outcomes["ok"] + outcomes["expired"]
+        assert requests["rejected_queue_full"] == outcomes["rejected"]
+        assert stats["accounting"]["balanced"]
+
+    def test_degrades_under_burst_and_reports_tier(self):
+        registry = ModelRegistry()
+        model, _ = _sc_model()
+        registry.register("sc", model, input_shape=(1, 6, 6))
+        policy = ServePolicy(
+            max_batch=2,
+            max_wait_s=0.0,
+            max_queue=64,
+            degrade_high_watermark=4,
+            degrade_low_watermark=1,
+            cooldown_s=0.0,
+        )
+        xs = np.zeros((24, 1, 6, 6), np.float32)
+        with serve.InferenceService(registry, policy) as service:
+            results = service.predict_many("sc", xs, deadline_s=None)
+        tiers = [r.tier for r in results]
+        assert any(t > 0 for t in tiers), tiers  # burst forced degradation
+        for r in results:
+            assert r.degraded == (r.tier > 0)
+
+    def test_stop_fails_queued_requests(self):
+        service, _ = self.make_service()
+        request, _ = service.submit("fp", np.zeros(8, np.float32))
+        service.stop()  # never started; drains the queue
+        with pytest.raises(Exception, match="stopped"):
+            request.future.result(timeout=1)
+
+
+class TestConcurrentReconfigure:
+    def test_forwards_race_tier_flips_without_torn_state(self):
+        """Outputs under concurrent reconfigure match one of the two
+        tier-consistent references exactly — never a mix of lengths."""
+        model, _ = _sc_model(stream_length=32)
+        x = np.random.default_rng(0).uniform(0, 1, (1, 1, 6, 6)).astype(
+            np.float32
+        )
+        refs = {}
+        for length in (32, 16):
+            set_stream_lengths(
+                model, stream_length=length, stream_length_pooling=length
+            )
+            refs[length] = model(x).data.copy()
+        stop = threading.Event()
+
+        def flipper():
+            length = 16
+            while not stop.is_set():
+                set_stream_lengths(
+                    model, stream_length=length, stream_length_pooling=length
+                )
+                length = 48 - length  # 16 <-> 32
+
+        thread = threading.Thread(target=flipper)
+        thread.start()
+        try:
+            for _ in range(40):
+                out = model(x).data
+                assert any(
+                    np.array_equal(out, ref) for ref in refs.values()
+                ), "forward saw a torn stream-length configuration"
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestHTTPServer:
+    def test_http_roundtrip_and_error_mapping(self):
+        registry = ModelRegistry()
+        registry.register("fp", _fp_model(), input_shape=(8,), warm=False)
+        service = serve.InferenceService(registry).start()
+        server = serve.make_server(service, port=0)
+        server.serve_background()
+        try:
+            client = serve.HTTPClient(f"http://127.0.0.1:{server.port}")
+            health = client.healthz()
+            assert health["status"] == "ok" and health["models"] == ["fp"]
+
+            x = np.linspace(0, 1, 8)
+            single = client.predict("fp", x)
+            assert len(single["outputs"]) == 3
+            assert single["tier"] == 0 and not single["degraded"]
+
+            batch = client.predict("fp", np.tile(x, (3, 1)))
+            assert [len(r["outputs"]) for r in batch] == [3, 3, 3]
+
+            with pytest.raises(UnknownModelError):
+                client.predict("ghost", x)
+
+            stats = client.stats()
+            assert stats["requests"]["accepted"] == 4
+            assert stats["accounting"]["balanced"]
+        finally:
+            server.shutdown()
+            service.stop()
+
+
+def test_cnn4_serves_end_to_end():
+    """The registry's primary workload: CNN-4 SC, warm, predict, stats."""
+    cfg = SCConfig(stream_length=16, stream_length_pooling=16)
+    model = cnn4_sc(
+        cfg, num_classes=10, in_channels=1, input_size=16,
+        width_mult=0.25, seed=3,
+    )
+    registry = ModelRegistry()
+    registry.register("cnn4", model, input_shape=(1, 16, 16), num_tiers=2)
+    x = np.random.default_rng(1).uniform(0, 1, (1, 16, 16)).astype(np.float32)
+    with serve.InferenceService(registry) as service:
+        result = service.predict("cnn4", x)
+        stats = service.stats()
+    assert result.outputs.shape == (10,)
+    assert 0 <= result.argmax < 10
+    assert stats["requests"]["completed"] == 1
+    assert stats["models"]["cnn4"]["max_tier"] == 1
