@@ -56,9 +56,53 @@ class UnknownModelError(ServeError):
 
 class QueueFullError(ServeError):
     """Admission control rejected a request: the bounded request queue
-    is at capacity (backpressure — retry later or at a lower rate)."""
+    is at capacity (backpressure — retry later or at a lower rate).
+
+    ``retry_after_s`` is the server's hint (derived from the batcher's
+    flush interval) for how long a client should back off before the
+    next attempt; both the in-process and HTTP clients surface it.
+    """
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class DeadlineExceededError(ServeError):
     """A request's deadline elapsed before a result could be produced
     (either while queued or waiting on the response)."""
+
+
+class CircuitOpenError(ServeError):
+    """A model's circuit breaker is open: recent executions failed
+    repeatedly, so requests are shed immediately instead of queueing
+    work that is expected to fail. ``retry_after_s`` says when the
+    breaker will admit a probe again."""
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ExecutionBackendError(ServeError):
+    """Base class for execution-backend failures (:mod:`repro.serve.backend`).
+
+    Subclasses are *transient* runtime faults — a crashed, wedged, or
+    corrupting worker — and are the retryable set for the dispatcher's
+    retry policy: the model itself is fine, re-running the batch on a
+    healthy worker is expected to succeed.
+    """
+
+
+class WorkerCrashError(ExecutionBackendError):
+    """An execution worker died mid-batch (process exited / pipe closed)."""
+
+
+class WorkerTimeoutError(ExecutionBackendError):
+    """An execution worker exceeded the per-attempt batch timeout and
+    was terminated (wedged or stalled worker)."""
+
+
+class ResultCorruptionError(ExecutionBackendError):
+    """A worker returned a malformed result (wrong shape/dtype or
+    non-finite values where the model cannot produce them)."""

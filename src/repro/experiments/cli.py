@@ -90,6 +90,8 @@ def _run_serve(args) -> int:
     Serves a demo CNN-4 (or a ``--checkpoint`` saved with
     :func:`repro.nn.serialize.save_model`) over HTTP until interrupted.
     """
+    import dataclasses
+
     from repro import serve
     from repro.models.cnn4 import cnn4_sc
     from repro.scnn.config import SCConfig
@@ -104,13 +106,28 @@ def _run_serve(args) -> int:
         )
         model = cnn4_sc(cfg, num_classes=10, in_channels=3, input_size=32)
         entry = registry.register(args.model, model, input_shape=(3, 32, 32))
-    service = serve.InferenceService(registry).start()
+    chaos = serve.ChaosConfig.parse(args.chaos) if args.chaos else None
+    backend = serve.make_backend(
+        args.backend, num_workers=args.exec_workers, chaos=chaos
+    )
+    policy = serve.ServePolicy()
+    if args.batch_timeout_s is not None:
+        policy = dataclasses.replace(
+            policy, batch_timeout_s=args.batch_timeout_s or None
+        )
+    service = serve.InferenceService(
+        registry, policy=policy, backend=backend
+    ).start()
     server = serve.make_server(
         service, host=args.host, port=args.port, verbose=True
     )
+    chaos_note = (
+        f", chaos {args.chaos!r}" if chaos is not None and chaos.active else ""
+    )
     print(
         f"serving {entry.name!r} (input {entry.input_shape}, "
-        f"{len(entry.tiers)} tier(s)) on "
+        f"{len(entry.tiers)} tier(s), backend {backend.name!r}"
+        f"{chaos_note}) on "
         f"http://{args.host}:{server.port} — POST /predict, "
         f"GET /healthz, GET /stats; Ctrl-C to stop"
     )
@@ -165,6 +182,30 @@ def main(argv: list[str] | None = None) -> int:
     group.add_argument(
         "--stream-length", type=int, default=64,
         help="demo model stream length (ignored with --checkpoint)",
+    )
+    group.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="execution backend: in-thread (default) or the supervised "
+        "process pool (crash isolation + multi-core batches)",
+    )
+    group.add_argument(
+        "--exec-workers", type=int, default=2,
+        help="process-pool worker count (--backend process only)",
+    )
+    group.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "'crash=0.05,stall=0.05,stall_ms=50,seed=0' "
+        "(keys: crash/stall/corrupt rates, stall_ms, seed)",
+    )
+    group.add_argument(
+        "--batch-timeout-s", type=float, default=None,
+        help="per-attempt batch execution timeout (0 disables; default "
+        "uses the policy's 10s)",
     )
     args = parser.parse_args(argv)
 

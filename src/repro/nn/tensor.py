@@ -88,6 +88,26 @@ class Tensor:
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
 
+    def __getstate__(self) -> dict:
+        """Pickle as a graph leaf: data + grad + flag, no autograd edges.
+
+        ``_backward`` closures are unpicklable and meaningless in another
+        process; a tensor that crosses a process boundary (checkpointing,
+        the process-pool serving backend) is by definition detached.
+        """
+        return {
+            "data": self.data,
+            "grad": self.grad,
+            "requires_grad": self.requires_grad,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.data = state["data"]
+        self.grad = state["grad"]
+        self.requires_grad = state["requires_grad"]
+        self._parents = ()
+        self._backward = None
+
     # --- construction helpers ----------------------------------------------
 
     @staticmethod

@@ -190,6 +190,39 @@ class Histogram:
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Estimated ``q``-th percentile (0..100) from the bucket counts.
+
+        Linear interpolation inside the bucket holding the target rank,
+        using the observed min/max as the outermost edges; ``None`` on an
+        empty histogram. The estimate's resolution is the bucket width —
+        good enough for latency-aware degrade decisions and benchmark
+        gates, which compare against thresholds far wider than a bucket.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return None
+            target = (q / 100.0) * self._count
+            cumulative = 0
+            lower = float(self._min)
+            for index, count in enumerate(self._counts):
+                upper = (
+                    float(self.bounds[index])
+                    if index < len(self.bounds)
+                    else float(self._max)
+                )
+                if count:
+                    if cumulative + count >= target:
+                        fraction = (target - cumulative) / count
+                        low = max(lower, float(self._min))
+                        high = min(max(upper, low), float(self._max))
+                        return low + fraction * (high - low)
+                    cumulative += count
+                lower = upper
+            return float(self._max)  # pragma: no cover - rounding fallback
+
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.bounds) + 1)
@@ -200,7 +233,7 @@ class Histogram:
 
     def to_dict(self) -> dict:
         with self._lock:
-            return {
+            payload = {
                 "unit": self.unit,
                 "bounds": list(self.bounds),
                 "counts": list(self._counts),
@@ -210,6 +243,12 @@ class Histogram:
                 "max": self._max,
                 "mean": self._sum / self._count if self._count else 0.0,
             }
+        # Estimated percentiles ride along for dashboards / benchmark
+        # gates (computed outside the lock: percentile() re-acquires it).
+        payload["p50"] = self.percentile(50)
+        payload["p95"] = self.percentile(95)
+        payload["p99"] = self.percentile(99)
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}: n={self._count})"

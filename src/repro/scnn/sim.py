@@ -303,6 +303,23 @@ class SCConvSimulator:
     def plan(self) -> SeedPlan:
         return self._state.plan
 
+    def __getstate__(self) -> dict:
+        """Pickle support: drop the (unpicklable) reconfigure lock.
+
+        The process-pool serving backend (:mod:`repro.serve.backend`)
+        ships whole models — simulators included — to worker processes;
+        the worker's copy gets a fresh lock and the same seed plans and
+        execution state, so its forwards are bit-identical to the
+        parent's.
+        """
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def reconfigure(self, **kwargs) -> None:
         """Update execution knobs (engine, num_workers, batch_chunk) or
         stream lengths in place; anything else affecting streams/seeds

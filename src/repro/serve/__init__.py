@@ -1,5 +1,6 @@
 """Batched SC inference serving: registry, micro-batcher, admission
-control, degrade-under-load, and a stdlib HTTP frontend.
+control, degrade-under-load, resilient execution backends, and a stdlib
+HTTP frontend.
 
 Quickstart (in-process)::
 
@@ -16,6 +17,12 @@ Quickstart (in-process)::
         result = service.predict("cnn4", x)   # x: (3, 32, 32) float32
         print(result.argmax, result.tier, result.degraded)
 
+With the supervised process-pool backend (crash isolation + true
+multi-core batch parallelism)::
+
+    backend = serve.ProcessPoolBackend(num_workers=2)
+    service = serve.InferenceService(registry, backend=backend)
+
 Over HTTP::
 
     server = serve.make_server(service, port=0)
@@ -24,7 +31,15 @@ Over HTTP::
     client.predict("cnn4", x)
 """
 
+from repro.serve.backend import (
+    ExecutionBackend,
+    InThreadBackend,
+    ProcessPoolBackend,
+    make_backend,
+)
 from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker
+from repro.serve.chaos import ChaosConfig
 from repro.serve.client import Client, HTTPClient
 from repro.serve.policy import DegradeController, ServePolicy
 from repro.serve.registry import (
@@ -38,17 +53,24 @@ from repro.serve.service import InferenceService, PredictResult
 
 __all__ = [
     "MIN_TIER_LENGTH",
+    "BreakerPolicy",
+    "ChaosConfig",
+    "CircuitBreaker",
     "Client",
     "DegradeController",
+    "ExecutionBackend",
     "HTTPClient",
+    "InThreadBackend",
     "InferenceService",
     "MicroBatcher",
     "ModelEntry",
     "ModelRegistry",
     "PendingRequest",
     "PredictResult",
+    "ProcessPoolBackend",
     "ServeHTTPServer",
     "ServePolicy",
+    "make_backend",
     "make_server",
     "tier_ladder",
 ]

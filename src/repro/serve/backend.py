@@ -1,0 +1,750 @@
+"""Execution backends for the serving dispatcher: in-thread and
+supervised process pool.
+
+The dispatcher (:class:`~repro.serve.service.InferenceService`) hands a
+coalesced batch plus a target tier to a backend and gets logits back.
+Two implementations share that contract:
+
+* :class:`InThreadBackend` — the original path: the forward runs on the
+  dispatcher's own pool thread against the registry's model. Zero
+  overhead, but a wedged or crashed forward takes the thread (or the
+  process) with it, and numpy sections that hold the GIL serialize
+  batches.
+* :class:`ProcessPoolBackend` — a **supervised pool of worker
+  processes**. Models are shipped to workers once (pickled whole, seed
+  plans included, so worker forwards are bit-identical to in-process
+  ones — see ``SCConvSimulator.__getstate__``), each batch is an RPC
+  over a private pipe, and a supervisor thread health-checks workers
+  with heartbeats and respawns any that crash, wedge, or fail a ping.
+  A worker dying mid-batch surfaces as a
+  :class:`~repro.errors.WorkerCrashError` (retryable) — the service's
+  retry policy re-runs the batch on a healthy worker, so a crashed
+  worker costs a retried batch, not a failed request.
+
+Worker processes start via ``forkserver`` where available (Linux): the
+fork server imports numpy + repro once, after which each (re)spawn is a
+cheap fork of that clean, thread-free template — crucial for respawn
+latency under chaos (a cold ``spawn`` re-imports numpy, ~seconds).
+Elsewhere it falls back to ``spawn``.
+
+Every backend validates results (shape + finiteness) before returning;
+a malformed result raises :class:`~repro.errors.ResultCorruptionError`,
+which is also retryable — recomputing is deterministic, so a healthy
+worker's answer replaces the corrupt one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.errors import (
+    ConfigurationError,
+    ResultCorruptionError,
+    ServeError,
+    UnknownModelError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.serve.chaos import CRASH_EXIT_CODE, ChaosConfig
+from repro.serve.registry import ModelEntry
+
+__all__ = [
+    "ExecutionBackend",
+    "InThreadBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+]
+
+
+def _validate_logits(
+    logits, batch_size: int, model: str
+) -> np.ndarray:
+    """Result validation shared by every backend (the corruption gate)."""
+    array = np.asarray(logits)
+    if array.ndim < 1 or array.shape[0] != batch_size:
+        raise ResultCorruptionError(
+            f"model {model!r} returned shape {array.shape} for a batch "
+            f"of {batch_size}"
+        )
+    if not np.issubdtype(array.dtype, np.floating):
+        raise ResultCorruptionError(
+            f"model {model!r} returned non-float dtype {array.dtype}"
+        )
+    if not np.isfinite(array).all():
+        raise ResultCorruptionError(
+            f"model {model!r} returned non-finite logits"
+        )
+    return array
+
+
+class ExecutionBackend:
+    """Contract between the dispatcher and an execution strategy."""
+
+    name = "base"
+
+    #: Batches the backend can usefully execute concurrently; the
+    #: service sizes its dispatch parallelism to at least this.
+    capacity = 1
+
+    def start(self) -> "ExecutionBackend":
+        return self
+
+    def stop(self) -> None:
+        pass
+
+    def run(
+        self,
+        entry: ModelEntry,
+        batch: np.ndarray,
+        tier: int,
+        timeout_s: float | None = None,
+    ) -> tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        return {"backend": self.name}
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class InThreadBackend(ExecutionBackend):
+    """Run batches on the calling (dispatcher pool) thread.
+
+    ``chaos`` injects the same fault model the process workers support —
+    a chaos "crash" raises :class:`WorkerCrashError` instead of killing
+    the process (there is no worker to kill), a "stall" sleeps on the
+    dispatcher thread, a "corrupt" NaN-fills the logits so the
+    validation gate trips. This keeps the retry/breaker machinery fully
+    testable without spawning processes. ``timeout_s`` is accepted but
+    unenforceable in-thread (a thread cannot be preempted) — one more
+    reason the process backend exists.
+    """
+
+    name = "thread"
+
+    def __init__(self, chaos: ChaosConfig | None = None):
+        self.chaos = chaos
+        self._tasks = 0
+        self._lock = threading.Lock()
+
+    def run(
+        self,
+        entry: ModelEntry,
+        batch: np.ndarray,
+        tier: int,
+        timeout_s: float | None = None,
+    ) -> tuple[np.ndarray, int]:
+        with self._lock:
+            self._tasks += 1
+            task_index = self._tasks
+        action = (
+            self.chaos.decide(0, task_index) if self.chaos is not None
+            else "none"
+        )
+        if action == "crash":
+            obs.counter("serve.chaos_injected").add(1)
+            raise WorkerCrashError(
+                f"chaos: injected crash at task {task_index}"
+            )
+        if action == "stall":
+            obs.counter("serve.chaos_injected").add(1)
+            time.sleep(self.chaos.stall_s)
+        logits, served_tier = entry.forward(batch, tier=tier)
+        if action == "corrupt":
+            obs.counter("serve.chaos_injected").add(1)
+            logits = np.full_like(logits, np.nan)
+        return (
+            _validate_logits(logits, batch.shape[0], entry.name),
+            served_tier,
+        )
+
+    def stats(self) -> dict:
+        return {"backend": self.name, "tasks": self._tasks}
+
+
+# -- process pool -------------------------------------------------------------
+
+
+def _worker_main(conn, worker_id: int, chaos_payload: dict | None) -> None:
+    """Entry point of one pool worker process.
+
+    Single-threaded request loop over a private duplex pipe. Messages:
+
+    * ``("load", name, model, tiers)`` → ``("loaded", name)`` — cache a
+      model (pickled by the parent) plus its stream-length tier ladder;
+    * ``("run", name, tier, batch)`` → ``("ok", logits, tier)`` or
+      ``("error", exception)`` — flip to the tier, forward, answer;
+    * ``("ping", n)`` → ``("pong", n)`` — supervisor heartbeat;
+    * ``("stop",)`` / EOF — exit cleanly.
+
+    Chaos injection happens *here*, inside the worker, exactly as a real
+    fault would: a crash is a hard ``os._exit`` (no goodbye message — the
+    parent sees the pipe close), a stall is a sleep while the parent's
+    timeout clock runs, a corruption mangles the payload on the wire.
+    """
+    from repro.nn.tensor import Tensor, no_grad
+    from repro.scnn.layers import set_stream_lengths
+
+    chaos = (
+        ChaosConfig.from_dict(chaos_payload) if chaos_payload else None
+    )
+    models: dict[str, tuple] = {}  # name -> (model, tiers, current_tier)
+    task_index = 0
+    conn.send(("ready", worker_id))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            # KeyboardInterrupt: a terminal Ctrl-C signals the whole
+            # process group — exit quietly, the parent coordinates
+            # shutdown.
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "ping":
+            conn.send(("pong", message[1]))
+            continue
+        if kind == "load":
+            _, name, model, tiers = message
+            models[name] = [model, tiers, None]
+            conn.send(("loaded", name))
+            continue
+        if kind != "run":  # pragma: no cover - protocol guard
+            conn.send(("error", ServeError(f"unknown message {kind!r}")))
+            continue
+        _, name, tier, batch = message
+        task_index += 1
+        action = chaos.decide(worker_id, task_index) if chaos else "none"
+        if action == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if action == "stall":
+            time.sleep(chaos.stall_s)
+        state = models.get(name)
+        if state is None:
+            conn.send(
+                ("error", UnknownModelError(f"{name!r} not loaded in worker"))
+            )
+            continue
+        model, tiers, current_tier = state
+        try:
+            if tier != current_tier and tiers[tier]:
+                set_stream_lengths(model, **tiers[tier])
+            state[2] = tier
+            with no_grad():
+                out = model(Tensor(np.ascontiguousarray(batch)))
+            logits = out.data
+            if action == "corrupt":
+                logits = np.full_like(logits, np.nan)
+            conn.send(("ok", logits, tier))
+        except Exception as error:  # noqa: BLE001 - shipped to the parent
+            try:
+                conn.send(("error", error))
+            except Exception:  # unpicklable exception: ship the repr
+                conn.send(("error", ServeError(repr(error))))
+
+
+#: Handle lifecycle states.
+_STARTING, _IDLE, _BUSY, _DEAD = "starting", "idle", "busy", "dead"
+
+
+class _WorkerHandle:
+    """Parent-side view of one pool worker."""
+
+    __slots__ = (
+        "id", "process", "conn", "state", "loaded", "tasks",
+        "spawned_at", "last_ping",
+    )
+
+    def __init__(self, worker_id: int, process, conn, now: float):
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        self.state = _STARTING
+        self.loaded: set[str] = set()
+        self.tasks = 0
+        self.spawned_at = now
+        self.last_ping = now
+
+
+def _pool_context():
+    """Best multiprocessing context for the pool (forkserver > spawn).
+
+    The preload list MUST keep ``"__main__"`` (the stdlib default):
+    forkserver children run spawn-style ``prepare()``, which re-imports
+    the parent's main module unless the fork template already holds it.
+    We append this module so the template also carries numpy + repro —
+    a respawn is then a bare ``fork()`` of a warm, thread-free process
+    (~tens of ms) instead of a cold interpreter re-importing numpy
+    (~seconds), which is what keeps crash recovery cheap under chaos.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "forkserver" in methods:
+        ctx = multiprocessing.get_context("forkserver")
+        try:
+            ctx.set_forkserver_preload(["__main__", "repro.serve.backend"])
+        except Exception:  # pragma: no cover - preload is best-effort
+            pass
+        return ctx
+    return multiprocessing.get_context("spawn")
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Supervised pool of worker processes with crash/wedge recovery.
+
+    One private duplex pipe per worker; a worker is exclusively owned by
+    one ``run()`` call while busy, so request/response matching is
+    positional and a late answer can never be attributed to the wrong
+    batch (a timed-out worker is *killed*, never reused). A supervisor
+    thread closes the loop: it promotes freshly spawned workers to the
+    idle set once they signal ready, heartbeats idle workers, reaps
+    anything dead, and respawns replacements to hold the pool at
+    ``num_workers``.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        chaos: ChaosConfig | None = None,
+        start_method: str | None = None,
+        heartbeat_interval_s: float = 0.5,
+        heartbeat_timeout_s: float = 5.0,
+        spawn_timeout_s: float = 120.0,
+        load_timeout_s: float = 60.0,
+        acquire_timeout_s: float = 30.0,
+    ):
+        if num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        self.num_workers = num_workers
+        self.capacity = num_workers
+        self.chaos = chaos
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.spawn_timeout_s = spawn_timeout_s
+        self.load_timeout_s = load_timeout_s
+        self.acquire_timeout_s = acquire_timeout_s
+        self._ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else _pool_context()
+        )
+        self._cond = threading.Condition()
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._idle: list[int] = []
+        #: Models any worker has ever loaded; the supervisor preloads
+        #: them into respawned workers so a crash never puts a cold
+        #: model transfer on a request's critical path.
+        self._known_models: dict[str, ModelEntry] = {}
+        self._next_id = 0
+        self._stopping = False
+        self._started = False
+        self._supervisor: threading.Thread | None = None
+        self._ping_seq = 0
+        self.counters = {
+            "spawned": 0,
+            "respawned": 0,
+            "crashes_detected": 0,
+            "timeouts": 0,
+            "heartbeat_failures": 0,
+            "tasks": 0,
+            "model_loads": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ProcessPoolBackend":
+        with self._cond:
+            if self._started:
+                return self
+            self._started = True
+            self._stopping = False
+            for _ in range(self.num_workers):
+                self._spawn_locked()
+        deadline = time.monotonic() + self.spawn_timeout_s
+        with self._cond:
+            while (
+                not self._idle
+                and not self._stopping
+                and time.monotonic() < deadline
+            ):
+                self._promote_ready_locked()
+                for handle in self._workers.values():
+                    if (
+                        handle.state == _STARTING
+                        and not handle.process.is_alive()
+                        and not handle.conn.poll(0)  # no racing "ready"
+                    ):
+                        self._mark_dead_locked(handle, crashed=True)
+                if all(
+                    handle.state == _DEAD
+                    for handle in self._workers.values()
+                ):
+                    exitcodes = [
+                        handle.process.exitcode
+                        for handle in self._workers.values()
+                    ]
+                    raise ServeError(
+                        f"every pool worker died during startup "
+                        f"(exitcodes {exitcodes}); when using spawn/"
+                        f"forkserver the owning script must be import-"
+                        f"safe (guard top-level work with "
+                        f"`if __name__ == '__main__':`)"
+                    )
+                self._cond.wait(timeout=0.05)
+            if not self._idle and not self._stopping:
+                raise ServeError(
+                    f"no pool worker became ready within "
+                    f"{self.spawn_timeout_s:.0f}s"
+                )
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            handles = list(self._workers.values())
+            self._workers.clear()
+            self._idle.clear()
+            self._cond.notify_all()
+        for handle in handles:
+            try:
+                if handle.state in (_IDLE, _STARTING):
+                    handle.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=2.0)
+            self._supervisor = None
+        with self._cond:
+            self._started = False
+
+    # -- worker management (callers hold self._cond where noted) -------------
+
+    def _spawn_locked(self) -> _WorkerHandle:
+        """Start one worker (cond held); it joins the idle set on ready."""
+        worker_id = self._next_id
+        self._next_id += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        chaos_payload = (
+            self.chaos.to_dict()
+            if self.chaos is not None and self.chaos.active
+            else None
+        )
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, chaos_payload),
+            name=f"serve-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only its end
+        handle = _WorkerHandle(
+            worker_id, process, parent_conn, time.monotonic()
+        )
+        self._workers[worker_id] = handle
+        self.counters["spawned"] += 1
+        obs.counter("serve.workers_spawned").add(1)
+        return handle
+
+    def _promote_ready_locked(self) -> None:
+        """Move starting workers that signalled readiness to idle."""
+        for handle in self._workers.values():
+            if handle.state != _STARTING:
+                continue
+            try:
+                if handle.conn.poll(0):
+                    message = handle.conn.recv()
+                    if message[0] == "ready":
+                        handle.state = _IDLE
+                        self._idle.append(handle.id)
+                        self._cond.notify_all()
+            except (EOFError, OSError):
+                self._mark_dead_locked(handle, crashed=True)
+
+    def _mark_dead_locked(
+        self, handle: _WorkerHandle, crashed: bool = False
+    ) -> None:
+        if handle.state == _DEAD:
+            return
+        handle.state = _DEAD
+        if handle.id in self._idle:
+            self._idle.remove(handle.id)
+        if crashed:
+            self.counters["crashes_detected"] += 1
+            obs.counter("serve.worker_crashes").add(1)
+
+    def _retire(self, handle: _WorkerHandle, crashed: bool) -> None:
+        """Kill and forget a worker (no cond held on entry)."""
+        with self._cond:
+            self._mark_dead_locked(handle, crashed=crashed)
+            self._workers.pop(handle.id, None)
+        if handle.process.is_alive():
+            handle.process.terminate()
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _supervise_loop(self) -> None:
+        """Health-check and respawn until the backend stops."""
+        while True:
+            with self._cond:
+                if self._stopping:
+                    return
+                self._promote_ready_locked()
+                now = time.monotonic()
+                for handle in list(self._workers.values()):
+                    # Crash detection: the OS told us the process died.
+                    if (
+                        handle.state in (_IDLE, _STARTING)
+                        and not handle.process.is_alive()
+                    ):
+                        self._mark_dead_locked(handle, crashed=True)
+                    # Startup watchdog: never became ready.
+                    elif (
+                        handle.state == _STARTING
+                        and now - handle.spawned_at > self.spawn_timeout_s
+                    ):
+                        self._mark_dead_locked(handle, crashed=True)
+                dead = [
+                    h for h in self._workers.values() if h.state == _DEAD
+                ]
+                for handle in dead:
+                    self._workers.pop(handle.id, None)
+                # Hold the pool at num_workers (busy + idle + starting).
+                missing = self.num_workers - len(self._workers)
+                respawned = []
+                for _ in range(missing):
+                    respawned.append(self._spawn_locked())
+                    self.counters["respawned"] += 1
+                    obs.counter("serve.workers_respawned").add(1)
+                known = dict(self._known_models)
+                preload_due = [
+                    h
+                    for h in self._workers.values()
+                    if h.state == _IDLE and set(known) - h.loaded
+                ]
+                for handle in preload_due:  # reserve before unlocking
+                    handle.state = _BUSY
+                    self._idle.remove(handle.id)
+                ping_due = [
+                    h
+                    for h in self._workers.values()
+                    if h.state == _IDLE
+                    and now - h.last_ping >= self.heartbeat_interval_s
+                ]
+                for handle in ping_due:  # reserve before unlocking
+                    handle.state = _BUSY
+                    self._idle.remove(handle.id)
+            for handle in dead:
+                if handle.process.is_alive():  # pragma: no cover - racing exit
+                    handle.process.terminate()
+                try:
+                    handle.conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            for handle in preload_due:
+                self._preload(handle, known)
+            for handle in ping_due:
+                self._heartbeat(handle)
+            time.sleep(0.02)
+
+    def _load_into(self, handle: _WorkerHandle, entry: ModelEntry) -> None:
+        """Ship one model to a reserved worker (raises on failure)."""
+        with obs.span(
+            "serve.worker_load", model=entry.name, worker=handle.id
+        ):
+            handle.conn.send(("load", entry.name, entry.model, entry.tiers))
+            reply = self._recv(handle, self.load_timeout_s)
+        if reply != ("loaded", entry.name):
+            raise WorkerCrashError(
+                f"worker {handle.id} failed to load {entry.name!r}: "
+                f"{reply!r}"
+            )
+        handle.loaded.add(entry.name)
+        self.counters["model_loads"] += 1
+
+    def _preload(self, handle: _WorkerHandle, known: dict) -> None:
+        """Warm a reserved (typically respawned) worker with every known
+        model, so a crash never costs a later request the transfer."""
+        try:
+            for name, entry in known.items():
+                if name not in handle.loaded:
+                    self._load_into(handle, entry)
+        except (ServeError, OSError, BrokenPipeError, ValueError):
+            self._retire(handle, crashed=True)
+            with self._cond:
+                self._cond.notify_all()
+            return
+        self._release(handle, healthy=True)
+
+    def _heartbeat(self, handle: _WorkerHandle) -> None:
+        """Ping one reserved idle worker; kill it if it fails the check."""
+        self._ping_seq += 1
+        seq = self._ping_seq
+        ok = False
+        try:
+            handle.conn.send(("ping", seq))
+            if handle.conn.poll(self.heartbeat_timeout_s):
+                message = handle.conn.recv()
+                ok = message == ("pong", seq)
+        except (EOFError, OSError, BrokenPipeError):
+            ok = False
+        if ok:
+            handle.last_ping = time.monotonic()
+            with self._cond:
+                if handle.state == _BUSY and not self._stopping:
+                    handle.state = _IDLE
+                    self._idle.append(handle.id)
+                    self._cond.notify_all()
+        else:
+            self.counters["heartbeat_failures"] += 1
+            obs.counter("serve.heartbeat_failures").add(1)
+            self._retire(handle, crashed=True)
+
+    # -- execution -----------------------------------------------------------
+
+    def _acquire(self) -> _WorkerHandle:
+        deadline = time.monotonic() + self.acquire_timeout_s
+        with self._cond:
+            while True:
+                if self._stopping:
+                    raise ServeError("process-pool backend is stopping")
+                self._promote_ready_locked()
+                if self._idle:
+                    handle = self._workers[self._idle.pop(0)]
+                    handle.state = _BUSY
+                    return handle
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WorkerTimeoutError(
+                        f"no idle pool worker within "
+                        f"{self.acquire_timeout_s:.1f}s"
+                    )
+                self._cond.wait(timeout=min(remaining, 0.05))
+
+    def _release(self, handle: _WorkerHandle, healthy: bool) -> None:
+        if healthy:
+            with self._cond:
+                if self._stopping:
+                    return
+                handle.state = _IDLE
+                handle.last_ping = time.monotonic()
+                self._idle.append(handle.id)
+                self._cond.notify_all()
+        else:
+            self._retire(handle, crashed=False)
+            with self._cond:
+                self._cond.notify_all()
+
+    def _recv(self, handle: _WorkerHandle, timeout_s: float | None):
+        """One response from a busy worker, or a typed failure."""
+        try:
+            if not handle.conn.poll(timeout_s):
+                self.counters["timeouts"] += 1
+                obs.counter("serve.worker_timeouts").add(1)
+                raise WorkerTimeoutError(
+                    f"worker {handle.id} exceeded {timeout_s:.3f}s; killed"
+                )
+            return handle.conn.recv()
+        except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
+            self.counters["crashes_detected"] += 1
+            obs.counter("serve.worker_crashes").add(1)
+            raise WorkerCrashError(
+                f"worker {handle.id} died mid-request "
+                f"(exitcode {handle.process.exitcode})"
+            ) from None
+
+    def run(
+        self,
+        entry: ModelEntry,
+        batch: np.ndarray,
+        tier: int,
+        timeout_s: float | None = None,
+    ) -> tuple[np.ndarray, int]:
+        handle = self._acquire()
+        healthy = False
+        try:
+            if entry.name not in handle.loaded:
+                self._load_into(handle, entry)
+            with self._cond:
+                self._known_models.setdefault(entry.name, entry)
+            handle.conn.send(("run", entry.name, tier, batch))
+            reply = self._recv(handle, timeout_s)
+            kind = reply[0]
+            if kind == "error":
+                healthy = True  # worker answered; it is fine
+                error = reply[1]
+                raise error if isinstance(error, Exception) else ServeError(
+                    str(error)
+                )
+            if kind != "ok":
+                raise WorkerCrashError(
+                    f"worker {handle.id} broke protocol: {reply[0]!r}"
+                )
+            logits = _validate_logits(reply[1], batch.shape[0], entry.name)
+            healthy = True
+            handle.tasks += 1
+            self.counters["tasks"] += 1
+            return logits, reply[2]
+        finally:
+            self._release(handle, healthy)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._cond:
+            states = {}
+            for handle in self._workers.values():
+                states[handle.state] = states.get(handle.state, 0) + 1
+            return {
+                "backend": self.name,
+                "num_workers": self.num_workers,
+                "start_method": self._ctx.get_start_method(),
+                "worker_states": states,
+                **self.counters,
+            }
+
+
+def make_backend(
+    kind: str,
+    num_workers: int = 2,
+    chaos: ChaosConfig | None = None,
+    **kwargs,
+) -> ExecutionBackend:
+    """Factory keyed by the CLI's ``--backend`` choice."""
+    if kind == "thread":
+        return InThreadBackend(chaos=chaos)
+    if kind == "process":
+        return ProcessPoolBackend(
+            num_workers=num_workers, chaos=chaos, **kwargs
+        )
+    raise ConfigurationError(
+        f"unknown backend {kind!r} (known: thread, process)"
+    )

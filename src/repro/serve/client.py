@@ -9,8 +9,17 @@ transport-agnostic:
 
 * 404 → :class:`~repro.errors.UnknownModelError`
 * 429 → :class:`~repro.errors.QueueFullError`
+* 503 → :class:`~repro.errors.CircuitOpenError`
 * 504 → :class:`~repro.errors.DeadlineExceededError`
 * other non-2xx → :class:`~repro.errors.ServeError`
+
+Backpressure errors (429/503) carry the server's retry hint as
+``error.retry_after_s``, parsed from ``X-Retry-After-Ms`` (sub-second
+precision) or the standard ``Retry-After`` header. Both clients accept
+an optional :class:`~repro.utils.retry.RetryPolicy`; with one set,
+backpressure rejections are retried transparently with that hint as the
+backoff floor — the caller only ever sees the error once the policy is
+exhausted.
 """
 
 from __future__ import annotations
@@ -22,25 +31,62 @@ import urllib.request
 import numpy as np
 
 from repro.errors import (
+    CircuitOpenError,
     DeadlineExceededError,
     QueueFullError,
     ServeError,
     UnknownModelError,
 )
 from repro.serve.service import InferenceService, PredictResult
+from repro.utils.retry import RetryPolicy, call_with_retry
 
 _ERROR_FOR_STATUS = {
     404: UnknownModelError,
     429: QueueFullError,
+    503: CircuitOpenError,
     504: DeadlineExceededError,
 }
 
+#: Server responses worth retrying: transient backpressure, not request
+#: defects (a 400/404 would fail identically every attempt).
+_RETRYABLE = (QueueFullError, CircuitOpenError)
+
+
+def _retry_after_from_headers(headers) -> float | None:
+    """Parse the backoff hint; prefers the millisecond extension."""
+    precise = headers.get("X-Retry-After-Ms")
+    if precise is not None:
+        try:
+            return float(precise) / 1e3
+        except ValueError:
+            pass
+    coarse = headers.get("Retry-After")
+    if coarse is not None:
+        try:
+            return float(coarse)
+        except ValueError:
+            pass
+    return None
+
 
 class Client:
-    """Synchronous in-process client over an :class:`InferenceService`."""
+    """Synchronous in-process client over an :class:`InferenceService`.
 
-    def __init__(self, service: InferenceService):
+    With ``retry`` set, queue-full / circuit-open rejections are retried
+    per the policy (honouring the service's ``retry_after_s`` hint)
+    before surfacing.
+    """
+
+    def __init__(
+        self, service: InferenceService, retry: RetryPolicy | None = None
+    ):
         self.service = service
+        self.retry = retry
+
+    def _call(self, fn):
+        if self.retry is None:
+            return fn()
+        return call_with_retry(fn, policy=self.retry, retry_on=_RETRYABLE)
 
     def predict(
         self,
@@ -48,7 +94,7 @@ class Client:
         x: np.ndarray,
         deadline_s: float | None = -1.0,
     ) -> PredictResult:
-        return self.service.predict(model, x, deadline_s)
+        return self._call(lambda: self.service.predict(model, x, deadline_s))
 
     def predict_many(
         self,
@@ -56,7 +102,9 @@ class Client:
         xs: np.ndarray,
         deadline_s: float | None = -1.0,
     ) -> list[PredictResult]:
-        return self.service.predict_many(model, xs, deadline_s)
+        return self._call(
+            lambda: self.service.predict_many(model, xs, deadline_s)
+        )
 
     def stats(self) -> dict:
         return self.service.stats()
@@ -72,11 +120,17 @@ class HTTPClient:
     :meth:`PredictResult.to_dict`) rather than result objects.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retry = retry
 
-    def _request(self, path: str, payload: dict | None = None) -> dict | list:
+    def _request_once(self, path: str, payload: dict | None) -> dict | list:
         url = f"{self.base_url}{path}"
         data = None if payload is None else json.dumps(payload).encode()
         request = urllib.request.Request(
@@ -89,14 +143,27 @@ class HTTPClient:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as r:
                 return json.loads(r.read())
         except urllib.error.HTTPError as err:
+            retry_after_s = _retry_after_from_headers(err.headers)
             try:
                 detail = json.loads(err.read()).get("detail", "")
             except (json.JSONDecodeError, ValueError):
                 detail = err.reason
             kind = _ERROR_FOR_STATUS.get(err.code, ServeError)
-            raise kind(f"HTTP {err.code}: {detail}") from None
+            error = kind(f"HTTP {err.code}: {detail}")
+            if retry_after_s is not None and isinstance(error, _RETRYABLE):
+                error.retry_after_s = retry_after_s
+            raise error from None
         except urllib.error.URLError as err:
             raise ServeError(f"cannot reach {url}: {err.reason}") from None
+
+    def _request(self, path: str, payload: dict | None = None) -> dict | list:
+        if self.retry is None:
+            return self._request_once(path, payload)
+        return call_with_retry(
+            lambda: self._request_once(path, payload),
+            policy=self.retry,
+            retry_on=_RETRYABLE,
+        )
 
     def predict(
         self,

@@ -1,29 +1,50 @@
-"""Serving policy: admission limits and degrade-under-load hysteresis.
+"""Serving policy: admission limits, resilience knobs, and degrade
+-under-load hysteresis.
 
 :class:`ServePolicy` is the one knob bundle a deployment tunes; the
-:class:`DegradeController` turns queue-depth observations into stream
--length tier decisions. Degradation exploits the accuracy/latency
-trade-off unique to stochastic computing — halving every stream length
-roughly halves the bit-ops per MAC — so under overload the service sheds
+:class:`DegradeController` turns load observations into stream-length
+tier decisions. Degradation exploits the accuracy/latency trade-off
+unique to stochastic computing — halving every stream length roughly
+halves the bit-ops per MAC — so under overload the service sheds
 *precision* before it sheds *requests*, and every degraded response is
 flagged with the tier it was computed at.
 
+Two overload signals feed the controller:
+
+* **queue depth** — the classic watermark pair
+  (``degrade_high_watermark`` / ``degrade_low_watermark``);
+* **observed batch latency** — the p95 over a sliding window of recent
+  batch execution times (``degrade_latency_p95_ms``). Queue depth is a
+  *leading* indicator that only fires once requests pile up; latency is
+  the *direct* SLO signal and catches slowdowns that never build a deep
+  queue (e.g. a degraded worker pool serving a steady trickle).
+
 Hysteresis rules (classic watermark + cooldown):
 
-* queue depth ``>= degrade_high_watermark`` → step one tier *down*
-  (shorter streams), at most once per ``cooldown_s``;
-* queue depth ``<= degrade_low_watermark`` → step one tier *up*
-  (recovery), also cooldown-gated, so a brief dip doesn't flap the
-  service back into the slow configuration it just escaped.
+* overloaded (depth ``>=`` high watermark **or** windowed p95 ``>=``
+  latency watermark) → step one tier *down* (shorter streams), at most
+  once per ``cooldown_s``;
+* recovered (depth ``<=`` low watermark **and** p95 back under
+  ``latency_recovery_ratio`` × the latency watermark) → step one tier
+  *up*, also cooldown-gated, so a brief dip doesn't flap the service
+  back into the slow configuration it just escaped.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.serve.breaker import BreakerPolicy
+from repro.utils.retry import RetryPolicy
+
+#: Minimum windowed-latency samples before the p95 signal is trusted;
+#: below this the controller is depth-only (one slow warm-up batch must
+#: not degrade the whole model).
+MIN_LATENCY_SAMPLES = 4
 
 
 @dataclass(frozen=True)
@@ -39,6 +60,14 @@ class ServePolicy:
     degrade_low_watermark: int = 2  # queue depth that recovers
     cooldown_s: float = 0.25  # min time between tier changes
     dispatch_workers: int = 0  # pool size for batch dispatch (0 = auto)
+    # -- latency-aware degrade ----------------------------------------------
+    degrade_latency_p95_ms: float | None = None  # p95 that degrades (None=off)
+    latency_recovery_ratio: float = 0.5  # p95 must drop below ratio*threshold
+    latency_window: int = 64  # batches in the sliding p95 window
+    # -- execution resilience ------------------------------------------------
+    batch_timeout_s: float | None = 10.0  # per-attempt execution timeout
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -60,14 +89,41 @@ class ServePolicy:
                 f"got {self.degrade_low_watermark} / "
                 f"{self.degrade_high_watermark}"
             )
+        if (
+            self.degrade_latency_p95_ms is not None
+            and self.degrade_latency_p95_ms <= 0
+        ):
+            raise ConfigurationError("degrade_latency_p95_ms must be positive")
+        if not 0.0 < self.latency_recovery_ratio <= 1.0:
+            raise ConfigurationError("latency_recovery_ratio must be in (0, 1]")
+        if self.latency_window < MIN_LATENCY_SAMPLES:
+            raise ConfigurationError(
+                f"latency_window must be >= {MIN_LATENCY_SAMPLES}, "
+                f"got {self.latency_window}"
+            )
+        if self.batch_timeout_s is not None and self.batch_timeout_s <= 0:
+            raise ConfigurationError("batch_timeout_s must be positive or None")
+
+    def retry_after_s(self) -> float:
+        """Client backoff hint for queue-full rejections.
+
+        Two flush intervals: after one flush the queue has drained a
+        batch, after two a retry is very likely to be admitted even if
+        other clients refilled part of the freed space. Floored so a
+        zero-wait batcher still tells clients to pause instead of
+        hot-spinning the admission path.
+        """
+        return max(2.0 * self.max_wait_s, 0.01)
 
 
 class DegradeController:
     """Watermark/cooldown hysteresis over one model's tier ladder.
 
-    Pure decision logic: :meth:`observe` maps ``(queue depth, now)`` to
-    the tier the model *should* be on; the caller applies it. Keeping
-    the clock injectable makes the hysteresis testable without sleeps.
+    Pure decision logic: :meth:`observe` maps ``(queue depth, windowed
+    batch-latency p95, now)`` to the tier the model *should* be on; the
+    caller applies it. Keeping the clock injectable makes the hysteresis
+    testable without sleeps. The dispatcher feeds execution times in via
+    :meth:`note_latency` after every batch.
     """
 
     def __init__(
@@ -82,28 +138,72 @@ class DegradeController:
         self.tier = 0
         self._last_change: float | None = None
         self.transitions = 0
+        self._latencies: deque[float] = deque(maxlen=policy.latency_window)
 
-    def observe(self, depth: int, now: float | None = None) -> int:
-        """Update and return the target tier for a queue-depth sample."""
+    # -- latency signal ------------------------------------------------------
+
+    def note_latency(self, batch_latency_ms: float) -> None:
+        """Record one batch's execution latency into the sliding window."""
+        self._latencies.append(float(batch_latency_ms))
+
+    def latency_p95(self) -> float | None:
+        """Windowed p95 (``None`` until :data:`MIN_LATENCY_SAMPLES`)."""
+        if len(self._latencies) < MIN_LATENCY_SAMPLES:
+            return None
+        ordered = sorted(self._latencies)
+        rank = max(0, int(0.95 * len(ordered) + 0.5) - 1)
+        return ordered[rank]
+
+    # -- decision ------------------------------------------------------------
+
+    def _overloaded(self, depth: int, p95_ms: float | None) -> bool:
+        if depth >= self.policy.degrade_high_watermark:
+            return True
+        threshold = self.policy.degrade_latency_p95_ms
+        return (
+            threshold is not None
+            and p95_ms is not None
+            and p95_ms >= threshold
+        )
+
+    def _recovered(self, depth: int, p95_ms: float | None) -> bool:
+        if depth > self.policy.degrade_low_watermark:
+            return False
+        threshold = self.policy.degrade_latency_p95_ms
+        if threshold is None or p95_ms is None:
+            return True
+        return p95_ms <= threshold * self.policy.latency_recovery_ratio
+
+    def observe(
+        self,
+        depth: int,
+        now: float | None = None,
+        p95_ms: float | None = None,
+    ) -> int:
+        """Update and return the target tier for one load sample.
+
+        ``p95_ms`` defaults to the controller's own sliding-window p95;
+        tests (and callers with an external latency source) may pass it
+        explicitly.
+        """
         if now is None:
             now = self.clock()
         if self.max_tier == 0:
             return self.tier
+        if p95_ms is None:
+            p95_ms = self.latency_p95()
         in_cooldown = (
             self._last_change is not None
             and now - self._last_change < self.policy.cooldown_s
         )
         if in_cooldown:
             return self.tier
-        if (
-            depth >= self.policy.degrade_high_watermark
-            and self.tier < self.max_tier
-        ):
+        if self._overloaded(depth, p95_ms) and self.tier < self.max_tier:
             self.tier += 1
             self._last_change = now
             self.transitions += 1
             obs.counter("serve.degrade_transitions").add(1)
-        elif depth <= self.policy.degrade_low_watermark and self.tier > 0:
+        elif self._recovered(depth, p95_ms) and self.tier > 0:
             self.tier -= 1
             self._last_change = now
             self.transitions += 1

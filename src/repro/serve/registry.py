@@ -88,18 +88,25 @@ class ModelEntry:
             self.tier = tier
         obs.gauge(f"serve.tier.{self.name}").set(tier)
 
-    def forward(self, batch: np.ndarray) -> tuple[np.ndarray, int]:
+    def forward(
+        self, batch: np.ndarray, tier: int | None = None
+    ) -> tuple[np.ndarray, int]:
         """Run one coalesced batch; returns ``(logits, tier_served)``.
 
-        The entry lock spans the forward so a tier flip can never land
-        mid-batch; the tier returned is the one the batch actually ran
-        at, which the response reports to the client.
+        With ``tier`` given, the flip and the forward happen under one
+        lock hold, so another dispatcher thread can never interleave its
+        own flip between them (the execution-backend contract: the batch
+        runs at exactly the tier the degrade controller chose). The tier
+        returned is the one the batch actually ran at, which the
+        response reports to the client.
         """
         with self.lock:
-            tier = self.tier
+            if tier is not None and tier != self.tier:
+                self.set_tier(tier)  # RLock: re-entrant under self.lock
+            served = self.tier
             with no_grad():
                 out = self.model(Tensor(np.ascontiguousarray(batch)))
-        return out.data, tier
+        return out.data, served
 
 
 class ModelRegistry:

@@ -11,20 +11,28 @@ Endpoints (JSON in, JSON out):
 
 Errors map onto status codes the way a client expects to branch on
 them: 400 malformed request / bad shape, 404 unknown model, 429 queue
-full (back off and retry), 504 deadline exceeded. ``ThreadingHTTPServer``
-gives one thread per connection; all cross-request coordination lives in
-the service, so the handler is stateless.
+full (back off and retry), 503 circuit open (the model is shedding
+load), 504 deadline exceeded. Backpressure responses (429/503) carry
+the standard ``Retry-After`` header (integer seconds, ceiling-rounded)
+plus ``X-Retry-After-Ms`` for sub-second precision — the service's
+admission errors expose the hint as ``retry_after_s`` and
+:class:`~repro.serve.client.HTTPClient` feeds it back into its retry
+backoff. ``ThreadingHTTPServer`` gives one thread per connection; all
+cross-request coordination lives in the service, so the handler is
+stateless.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from repro.errors import (
+    CircuitOpenError,
     DeadlineExceededError,
     QueueFullError,
     ReproError,
@@ -36,6 +44,7 @@ from repro.serve.service import InferenceService
 _STATUS_FOR = (
     (UnknownModelError, 404),
     (QueueFullError, 429),
+    (CircuitOpenError, 503),
     (DeadlineExceededError, 504),
     (ShapeError, 400),
 )
@@ -60,17 +69,35 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(fmt, *args)
 
-    def _send_json(self, status: int, payload: dict | list) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict | list,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, error: Exception) -> None:
+        headers = None
+        retry_after_s = getattr(error, "retry_after_s", None)
+        if retry_after_s is not None:
+            # Retry-After is integer seconds by spec; ceil so a client
+            # honouring only the standard header never retries early.
+            headers = {
+                "Retry-After": str(max(0, math.ceil(retry_after_s))),
+                "X-Retry-After-Ms": f"{retry_after_s * 1e3:.3f}",
+            }
         self._send_json(
-            status, {"error": type(error).__name__, "detail": str(error)}
+            status,
+            {"error": type(error).__name__, "detail": str(error)},
+            extra_headers=headers,
         )
 
     # -- routes --------------------------------------------------------------

@@ -6,15 +6,28 @@ worker pool (:func:`repro.utils.parallel.submit`), so batches for
 *different* models execute concurrently while each model's entry lock
 keeps its own forwards serial (tier flips can't land mid-batch).
 
+Execution itself goes through a pluggable
+:class:`~repro.serve.backend.ExecutionBackend` — in-thread by default, a
+supervised process pool when crash isolation / true multi-core batch
+parallelism is wanted. The resilience chain around each batch is::
+
+    breaker.allow()  →  admission           (CircuitOpenError when open)
+    partition_expired → fail dead requests  (deadline passed post-release)
+    call_with_retry(backend.run)            (crash/timeout/corruption retried)
+    breaker.record_{success,failure}        (post-retry outcome)
+    controller.note_latency                 (feeds latency-aware degrade)
+
 Every request is accounted for exactly once, which the overload
 acceptance test checks end to end::
 
     accepted == completed + expired + failed + in_flight + queued
 
 Instrumentation (:mod:`repro.obs`): ``serve.queue_depth`` gauge,
-``serve.batch_size`` histogram, ``serve.request_latency_ms`` histogram,
-per-stage spans (``serve.dispatch`` / ``serve.model_forward``), and
-counters for accepted / rejected / expired / completed / failed / late.
+``serve.batch_size`` / ``serve.batch_latency_ms`` /
+``serve.request_latency_ms`` histograms, per-stage spans
+(``serve.dispatch`` / ``serve.model_forward``), and counters for
+accepted / rejected / expired / completed / failed / late / retried /
+circuit-open rejections.
 """
 
 from __future__ import annotations
@@ -27,20 +40,32 @@ import numpy as np
 
 from repro import obs
 from repro.errors import (
+    CircuitOpenError,
     DeadlineExceededError,
     QueueFullError,
+    ResultCorruptionError,
     ServeError,
     ShapeError,
+    WorkerCrashError,
+    WorkerTimeoutError,
 )
 from repro.obs.core import Counter, Histogram
+from repro.serve.backend import ExecutionBackend, InThreadBackend
 from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.policy import DegradeController, ServePolicy
 from repro.serve.registry import ModelEntry, ModelRegistry
 from repro.utils import parallel
 from repro.utils.parallel import resolve_workers
+from repro.utils.retry import call_with_retry
 
 #: Latency histogram buckets (milliseconds).
 _LATENCY_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+#: Failures the dispatcher retries: all transient-by-construction — a
+#: crashed or wedged worker is respawned, and SC forwards are
+#: deterministic so recomputing a corrupted result is exact.
+_RETRYABLE = (WorkerCrashError, WorkerTimeoutError, ResultCorruptionError)
 
 
 class _Stat:
@@ -120,10 +145,12 @@ class InferenceService:
         registry: ModelRegistry,
         policy: ServePolicy | None = None,
         clock=time.monotonic,
+        backend: ExecutionBackend | None = None,
     ):
         self.registry = registry
         self.policy = policy or ServePolicy()
         self.clock = clock
+        self.backend = backend if backend is not None else InThreadBackend()
         self.batcher = MicroBatcher(
             max_batch=self.policy.max_batch,
             max_wait_s=self.policy.max_wait_s,
@@ -131,27 +158,39 @@ class InferenceService:
             clock=clock,
         )
         self._controllers: dict[str, DegradeController] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._in_flight = 0
-        # Bounds concurrently executing batches to the worker count, so
-        # backlog stays in the batcher queue — where depth drives the
-        # degrade signal, coalescing sees it, and expiry still applies —
-        # instead of piling up invisibly behind the pool.
-        self._inflight_slots = threading.Semaphore(
-            resolve_workers(self.policy.dispatch_workers)
+        # Dispatch parallelism must cover the backend: a process pool of
+        # N workers needs N batches in flight to use them, even on a box
+        # whose CPU count resolves the dispatch knob to 1.
+        self._dispatch_parallelism = max(
+            resolve_workers(self.policy.dispatch_workers),
+            getattr(self.backend, "capacity", 1),
         )
+        # Bounds concurrently executing batches, so backlog stays in the
+        # batcher queue — where depth drives the degrade signal,
+        # coalescing sees it, and expiry still applies — instead of
+        # piling up invisibly behind the pool.
+        self._inflight_slots = threading.Semaphore(self._dispatch_parallelism)
         self._state_lock = threading.Lock()
         self._stop = threading.Event()
         self._dispatcher: threading.Thread | None = None
         self._accepted = _Stat("serve.requests_accepted")
         self._rejected = _Stat("serve.requests_rejected_queue_full")
+        self._rejected_open = _Stat("serve.requests_rejected_circuit_open")
         self._expired = _Stat("serve.requests_expired")
+        self._deadline_expired = _Stat("serve.deadline_expired")
         self._completed = _Stat("serve.requests_completed")
         self._failed = _Stat("serve.requests_failed")
         self._late = _Stat("serve.requests_late")
         self._batches = _Stat("serve.batches_dispatched")
+        self._retries = _Stat("serve.batch_retries")
         self._batch_hist = _StatHistogram("serve.batch_size", unit="requests")
         self._latency_hist = _StatHistogram(
             "serve.request_latency_ms", bounds=_LATENCY_BUCKETS, unit="ms"
+        )
+        self._batch_latency_hist = _StatHistogram(
+            "serve.batch_latency_ms", bounds=_LATENCY_BUCKETS, unit="ms"
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -159,6 +198,7 @@ class InferenceService:
     def start(self) -> "InferenceService":
         if self._dispatcher is not None:
             return self
+        self.backend.start()
         self._stop.clear()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatch", daemon=True
@@ -175,6 +215,7 @@ class InferenceService:
         for request in self.batcher.drain():
             self._failed.add(1)
             request.future.set_exception(ServeError("service stopped"))
+        self.backend.stop()
 
     def __enter__(self) -> "InferenceService":
         return self.start()
@@ -195,8 +236,10 @@ class InferenceService:
         ``deadline_s`` is relative to now; the sentinel ``-1.0`` selects
         the policy default, ``None`` disables the deadline. Raises
         :class:`UnknownModelError` / :class:`ShapeError` /
-        :class:`QueueFullError` — admission failures are synchronous, so
-        a rejected request never consumes queue space.
+        :class:`CircuitOpenError` / :class:`QueueFullError` — admission
+        failures are synchronous, so a rejected request never consumes
+        queue space, and both backpressure errors carry a
+        ``retry_after_s`` hint.
         """
         entry = self.registry.get(model)
         sample = np.asarray(x, dtype=np.float32)
@@ -204,6 +247,15 @@ class InferenceService:
             raise ShapeError(
                 f"sample shape {sample.shape} != model {model!r} "
                 f"input shape {entry.input_shape}"
+            )
+        breaker = self._breaker(model)
+        if not breaker.allow():
+            self._rejected_open.add(1)
+            raise CircuitOpenError(
+                f"circuit open for model {model!r} "
+                f"({breaker.to_dict()['consecutive_failures']} consecutive "
+                f"failures); retry later",
+                retry_after_s=breaker.retry_after_s(),
             )
         if deadline_s == -1.0:
             deadline_s = self.policy.default_deadline_s
@@ -215,9 +267,11 @@ class InferenceService:
             deadline_at=None if deadline_s is None else now + deadline_s,
         )
         if not self.batcher.offer(request):
+            breaker.refund()  # the admitted probe never ran
             self._rejected.add(1)
             raise QueueFullError(
-                f"queue at capacity ({self.policy.max_queue}); retry later"
+                f"queue at capacity ({self.policy.max_queue}); retry later",
+                retry_after_s=self.policy.retry_after_s(),
             )
         self._accepted.add(1)
         return request, entry
@@ -255,6 +309,16 @@ class InferenceService:
             self._controllers[entry.name] = controller
         return controller
 
+    def _breaker(self, name: str) -> CircuitBreaker:
+        with self._state_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name, self.policy.breaker, clock=self.clock
+                )
+                self._breakers[name] = breaker
+            return breaker
+
     def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
             if not self._inflight_slots.acquire(timeout=0.05):
@@ -266,41 +330,86 @@ class InferenceService:
                 continue
             with self._state_lock:
                 self._in_flight += len(batch)
-            # The shared pool overlaps batches of different models; the
-            # entry lock keeps one model's batches serial.
+            # The shared pool overlaps batches of different models (and,
+            # with a process backend, batches of the same model across
+            # workers); the entry lock keeps in-thread forwards serial.
             parallel.submit(
                 self._run_batch,
                 batch,
-                num_workers=self.policy.dispatch_workers,
+                num_workers=self._dispatch_parallelism,
             )
 
-    def _fail_expired(self, expired: list[PendingRequest]) -> None:
+    def _fail_expired(
+        self, expired: list[PendingRequest], at_dequeue: bool = False
+    ) -> None:
         for request in expired:
             self._expired.add(1)
+            if at_dequeue:
+                self._deadline_expired.add(1)
             request.future.set_exception(
                 DeadlineExceededError(
                     f"deadline elapsed after "
-                    f"{self.clock() - request.enqueued_at:.3f}s in queue"
+                    f"{self.clock() - request.enqueued_at:.3f}s "
+                    f"{'at dequeue' if at_dequeue else 'in queue'}"
                 )
             )
 
+    def _execute(
+        self, entry: ModelEntry, stacked: np.ndarray, tier: int
+    ) -> tuple[np.ndarray, int]:
+        """One batch through the backend, retrying transient failures."""
+
+        def attempt() -> tuple[np.ndarray, int]:
+            with obs.span("serve.model_forward", model=entry.name):
+                return self.backend.run(
+                    entry,
+                    stacked,
+                    tier,
+                    timeout_s=self.policy.batch_timeout_s,
+                )
+
+        def on_retry(error: BaseException, _attempt: int, _delay: float):
+            self._retries.add(1)
+            obs.counter(
+                f"serve.retry_cause.{type(error).__name__}"
+            ).add(1)
+
+        return call_with_retry(
+            attempt,
+            policy=self.policy.retry,
+            retry_on=_RETRYABLE,
+            on_retry=on_retry,
+        )
+
     def _run_batch(self, batch: list[PendingRequest]) -> None:
         entry = self.registry.get(batch[0].model)
+        breaker = self._breaker(entry.name)
         try:
+            # A deadline can pass between batch release and execution —
+            # the batch sat behind the in-flight semaphore or a previous
+            # batch's retry backoff. Fail those now instead of burning a
+            # forward whose result nobody can use.
+            live, dead = MicroBatcher.partition_expired(batch, self.clock())
+            if dead:
+                self._fail_expired(dead, at_dequeue=True)
+            if not live:
+                return
             controller = self._controller(entry)
             target = controller.observe(self.batcher.depth())
-            if target != entry.tier:
-                entry.set_tier(target)
             self._batches.add(1)
-            self._batch_hist.observe(len(batch))
+            self._batch_hist.observe(len(live))
             with obs.span(
-                "serve.dispatch", model=entry.name, batch=len(batch)
+                "serve.dispatch", model=entry.name, batch=len(live)
             ):
-                stacked = np.stack([r.x for r in batch])
-                with obs.span("serve.model_forward", model=entry.name):
-                    logits, tier = entry.forward(stacked)
+                stacked = np.stack([r.x for r in live])
+                started = self.clock()
+                logits, tier = self._execute(entry, stacked, target)
+                batch_ms = (self.clock() - started) * 1e3
+                controller.note_latency(batch_ms)
+                self._batch_latency_hist.observe(batch_ms)
+                breaker.record_success()
                 now = self.clock()
-                for i, request in enumerate(batch):
+                for i, request in enumerate(live):
                     latency = now - request.enqueued_at
                     late = (
                         request.deadline_at is not None
@@ -321,6 +430,7 @@ class InferenceService:
                         )
                     )
         except Exception as error:  # noqa: BLE001 - futures must resolve
+            breaker.record_failure()
             for request in batch:
                 if not request.future.done():
                     self._failed.add(1)
@@ -341,6 +451,7 @@ class InferenceService:
         """
         with self._state_lock:
             in_flight = self._in_flight
+            breakers = dict(self._breakers)
         queued = self.batcher.depth()
         accepted = self._accepted.value
         completed = self._completed.value
@@ -366,6 +477,7 @@ class InferenceService:
             "requests": {
                 "accepted": accepted,
                 "rejected_queue_full": self._rejected.value,
+                "rejected_circuit_open": self._rejected_open.value,
                 "completed": completed,
                 "expired": expired,
                 "failed": failed,
@@ -377,6 +489,17 @@ class InferenceService:
                 "size": self._batch_hist.to_dict(),
             },
             "latency_ms": self._latency_hist.to_dict(),
+            "resilience": {
+                "backend": self.backend.stats(),
+                "dispatch_parallelism": self._dispatch_parallelism,
+                "batch_retries": self._retries.value,
+                "deadline_expired_at_dequeue": self._deadline_expired.value,
+                "batch_latency_ms": self._batch_latency_hist.to_dict(),
+                "breakers": {
+                    name: breaker.to_dict()
+                    for name, breaker in breakers.items()
+                },
+            },
             "accounting": {
                 "balanced": accepted
                 == completed + expired + failed + in_flight + queued,

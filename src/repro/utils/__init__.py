@@ -19,6 +19,7 @@ from repro.utils.parallel import (
     shutdown_pool,
     submit,
 )
+from repro.utils.retry import RetryPolicy, call_with_retry
 from repro.utils.seeding import SeedSequenceFactory, derive_seed
 from repro.utils.report import Table, format_ratio
 
@@ -37,7 +38,9 @@ __all__ = [
     "shard_slices",
     "shutdown_pool",
     "submit",
+    "RetryPolicy",
     "SeedSequenceFactory",
+    "call_with_retry",
     "derive_seed",
     "Table",
     "format_ratio",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro import obs
@@ -101,7 +101,16 @@ def parallel_map(
     """Apply ``fn`` to every job, sharded across the worker pool.
 
     Serial (no pool, no thread hop) when the resolved worker count is 1
-    or there is at most one job; exceptions from workers propagate.
+    or there is at most one job.
+
+    **Fail-fast**: the first worker exception propagates to the caller
+    with its *original* traceback (the exception object raised inside
+    the worker, not a wrapper), and shards that have not started yet are
+    cancelled instead of running to completion — a 64-shard call whose
+    second shard raises does not burn 62 more shards' worth of work.
+    Shards already executing when the failure lands do finish (threads
+    cannot be preempted); their results are discarded. Cancelled shards
+    are counted on ``parallel.cancelled_shards``.
 
     The pool is requested at the *resolved knob size* (stable across
     calls) rather than the per-call job count, so varying shard counts
@@ -119,20 +128,35 @@ def parallel_map(
         return [fn(job) for job in jobs]
     pool = get_pool(resolved)
     reg = obs.get_registry()
-    if not reg.enabled:
-        return list(pool.map(fn, jobs))
-
     durations = [0.0] * len(jobs)
 
-    def timed(indexed: tuple[int, _T]) -> _R:
-        index, job = indexed
+    def run_one(index: int, job: _T) -> _R:
+        if not reg.enabled:
+            return fn(job)
         t0 = time.perf_counter()
         result = fn(job)
         durations[index] = time.perf_counter() - t0
         return result
 
     t0 = time.perf_counter()
-    results = list(pool.map(timed, enumerate(jobs)))
+    futures = [pool.submit(run_one, i, job) for i, job in enumerate(jobs)]
+    wait(futures, return_when=FIRST_EXCEPTION)
+    failed = next(
+        (
+            f
+            for f in futures
+            if f.done() and not f.cancelled() and f.exception() is not None
+        ),
+        None,
+    )
+    if failed is not None:
+        cancelled = sum(1 for f in futures if not f.done() and f.cancel())
+        if reg.enabled and cancelled:
+            reg.counter("parallel.cancelled_shards").add(cancelled)
+        failed.result()  # re-raises the worker exception, original traceback
+    results = [f.result() for f in futures]
+    if not reg.enabled:
+        return results
     wall = time.perf_counter() - t0
     busy = sum(durations)
     reg.counter("parallel.tasks").add(len(jobs))

@@ -89,6 +89,43 @@ class TestParallelMap:
         )[0]
         assert name == threading.current_thread().name
 
+    def test_fail_fast_cancels_pending_shards(self):
+        """A failing shard aborts the call without burning the backlog:
+        shards not yet started are cancelled, not executed."""
+        shutdown_pool()
+        release = threading.Event()
+        started = []
+
+        def job(v):
+            started.append(v)
+            if v == 0:
+                raise ValueError("shard 0 failed")
+            release.wait(timeout=5)  # hold the other worker busy
+            return v
+
+        try:
+            with pytest.raises(ValueError, match="shard 0"):
+                parallel_map(job, list(range(32)), 2)
+        finally:
+            release.set()
+        # Worker threads may grab a couple more shards between the
+        # failure and the cancel sweep, but nowhere near the full 32.
+        assert len(started) < 32
+        shutdown_pool()
+
+    def test_exception_is_original_object_with_worker_traceback(self):
+        sentinel = KeyError("original")
+
+        def boom(v):
+            if v == 3:
+                raise sentinel
+            return v
+
+        with pytest.raises(KeyError) as excinfo:
+            parallel_map(boom, list(range(8)), 4)
+        assert excinfo.value is sentinel  # not wrapped
+        assert "boom" in [frame.name for frame in excinfo.traceback]
+
 
 class TestPool:
     def test_pool_reused_and_rebuilt(self):

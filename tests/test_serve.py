@@ -13,11 +13,14 @@ import pytest
 
 from repro import nn, serve
 from repro.errors import (
+    CircuitOpenError,
     ConfigurationError,
     DeadlineExceededError,
     QueueFullError,
+    ServeError,
     ShapeError,
     UnknownModelError,
+    WorkerCrashError,
 )
 from repro.models.cnn4 import cnn4_sc
 from repro.scnn import SCConfig
@@ -25,6 +28,7 @@ from repro.scnn.layers import SCConv2d, set_stream_lengths
 from repro.serve.batcher import MicroBatcher, PendingRequest
 from repro.serve.policy import DegradeController, ServePolicy
 from repro.serve.registry import MIN_TIER_LENGTH, ModelRegistry, tier_ladder
+from repro.utils.retry import RetryPolicy
 
 
 class FakeClock:
@@ -416,6 +420,42 @@ class TestServiceIntegration:
         with pytest.raises(Exception, match="stopped"):
             request.future.result(timeout=1)
 
+    def test_queue_full_carries_retry_after_hint(self):
+        service, _ = self.make_service(max_batch=2, max_queue=2)
+        x = np.zeros(8, np.float32)
+        service.submit("fp", x)
+        service.submit("fp", x)
+        with pytest.raises(QueueFullError) as excinfo:
+            service.submit("fp", x)
+        assert excinfo.value.retry_after_s == pytest.approx(
+            service.policy.retry_after_s()
+        )
+
+    def test_client_retry_absorbs_backpressure(self):
+        """An in-process Client with a retry policy hides a transient
+        queue-full from the caller (honouring the server's hint)."""
+        service, _ = self.make_service()
+        real_predict = service.predict
+        calls = []
+
+        def flaky_predict(model, x, deadline_s=-1.0):
+            calls.append(1)
+            if len(calls) == 1:
+                raise QueueFullError("full", retry_after_s=0.0)
+            return real_predict(model, x, deadline_s)
+
+        service.predict = flaky_predict
+        client = serve.Client(
+            service,
+            retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0
+            ),
+        )
+        with service:
+            result = client.predict("fp", np.zeros(8, np.float32))
+        assert result.outputs.shape == (3,)
+        assert len(calls) == 2
+
 
 class TestConcurrentReconfigure:
     def test_forwards_race_tier_flips_without_torn_state(self):
@@ -483,6 +523,105 @@ class TestHTTPServer:
         finally:
             server.shutdown()
             service.stop()
+
+    def test_http_429_sends_retry_after_headers(self):
+        """Queue-full over HTTP: 429 plus both backoff headers, and the
+        client surfaces the precise hint as ``retry_after_s``."""
+        import urllib.error
+        import urllib.request
+
+        registry = ModelRegistry()
+        registry.register("fp", _fp_model(), input_shape=(8,), warm=False)
+        policy = ServePolicy(max_batch=2, max_queue=2, max_wait_s=0.005)
+        service = serve.InferenceService(registry, policy)  # dispatcher off
+        server = serve.make_server(service, port=0)
+        server.serve_background()
+        try:
+            x = np.zeros(8, np.float32)
+            service.submit("fp", x)
+            service.submit("fp", x)  # queue now at capacity
+            url = f"http://127.0.0.1:{server.port}"
+            body = b'{"model": "fp", "inputs": ' + str(
+                x.tolist()
+            ).encode() + b"}"
+            request = urllib.request.Request(
+                f"{url}/predict", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            hint_s = policy.retry_after_s()
+            assert excinfo.value.code == 429
+            headers = excinfo.value.headers
+            assert int(headers["Retry-After"]) >= hint_s  # ceiling-rounded
+            assert float(headers["X-Retry-After-Ms"]) == pytest.approx(
+                hint_s * 1e3
+            )
+
+            client = serve.HTTPClient(url)
+            with pytest.raises(QueueFullError) as excinfo:
+                client.predict("fp", x)
+            assert excinfo.value.retry_after_s == pytest.approx(hint_s)
+        finally:
+            server.shutdown()
+            service.stop()
+
+    def test_http_503_when_breaker_open(self):
+        """A repeatedly failing model maps to 500 first (the crash), then
+        503 + Retry-After once the breaker opens."""
+
+        class _CrashingBackend(serve.InThreadBackend):
+            def run(self, entry, batch, tier, timeout_s=None):
+                raise WorkerCrashError("worker keeps dying")
+
+        registry = ModelRegistry()
+        registry.register("fp", _fp_model(), input_shape=(8,), warm=False)
+        policy = ServePolicy(
+            max_batch=2,
+            max_wait_s=0.0,
+            max_queue=16,
+            retry=RetryPolicy(max_attempts=1),
+            breaker=serve.BreakerPolicy(failure_threshold=1, reset_s=60.0),
+        )
+        service = serve.InferenceService(
+            registry, policy, backend=_CrashingBackend()
+        ).start()
+        server = serve.make_server(service, port=0)
+        server.serve_background()
+        try:
+            client = serve.HTTPClient(f"http://127.0.0.1:{server.port}")
+            x = np.zeros(8, np.float32)
+            with pytest.raises(ServeError) as excinfo:
+                client.predict("fp", x)  # crash -> 500
+            assert not isinstance(excinfo.value, CircuitOpenError)
+            with pytest.raises(CircuitOpenError) as excinfo:
+                client.predict("fp", x)  # breaker open -> 503
+            assert excinfo.value.retry_after_s is not None
+            assert 0 < excinfo.value.retry_after_s <= 60.0
+        finally:
+            server.shutdown()
+            service.stop()
+
+    def test_http_client_retries_backpressure(self):
+        client = serve.HTTPClient(
+            "http://unused.invalid",
+            retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0
+            ),
+        )
+        calls = []
+
+        def flaky(path, payload):
+            calls.append(path)
+            if len(calls) == 1:
+                error = QueueFullError("HTTP 429: full")
+                error.retry_after_s = 0.0
+                raise error
+            return {"ok": True}
+
+        client._request_once = flaky
+        assert client._request("/predict", {}) == {"ok": True}
+        assert calls == ["/predict", "/predict"]
 
 
 def test_cnn4_serves_end_to_end():
