@@ -116,7 +116,7 @@ def run_smoke(clients: int = 4, requests_per_client: int = 3) -> dict:
         f"OK: {len(responses)} responses, all tier 0; "
         f"{stats['batches']['dispatched']} batches "
         f"(mean size {stats['batches']['size']['mean']:.1f}); "
-        f"accounting balanced"
+        "accounting balanced"
     )
     return stats
 

@@ -1,0 +1,46 @@
+"""Project-invariant static analysis and runtime concurrency sanitizing.
+
+The GEO reproduction's headline property — bit-identical, replayable
+results across engines, backends, and worker processes — rests on
+discipline no generic linter can see: every random draw flows through a
+seed derivation, deterministic modules never read wall clocks, and
+shared mutable state is only touched under its declared lock. This
+package enforces those invariants mechanically:
+
+* :mod:`repro.analysis.rules` — AST rules RPR001..RPR005 over the
+  source tree (unseeded randomness, wall-clock reads, lock-guard
+  discipline, ``__all__`` parity, dataclass ``to_dict``/``from_dict``
+  parity), run via ``python -m repro.analysis`` or ``geo-repro lint``.
+* :mod:`repro.analysis.lockwatch` — an opt-in (``REPRO_LOCKWATCH=1``)
+  runtime sanitizer that wraps ``threading`` locks, builds the
+  acquired-before graph, and reports lock-order inversions (potential
+  ABBA deadlocks) and long-held locks.
+
+Suppress an intentional violation with an inline marker carrying a
+reason::
+
+    value = np.random.rand()  # repro: noqa-RPR001 -- demo only, not a result path
+"""
+
+from repro.analysis.core import (
+    AnalysisReport,
+    FileContext,
+    Finding,
+    Rule,
+    iter_rules,
+    run_paths,
+)
+from repro.analysis.report import render_json, render_text
+from repro.analysis.cli import main
+
+__all__ = [
+    "AnalysisReport",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "iter_rules",
+    "main",
+    "render_json",
+    "render_text",
+    "run_paths",
+]

@@ -1,0 +1,79 @@
+"""Entry point shared by ``python -m repro.analysis`` and
+``geo-repro lint``: run the invariant rules, print the text report,
+optionally write the JSON report, exit non-zero on findings."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.core import run_paths
+from repro.analysis.report import render_json, render_rule_table, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Project-invariant linter for the GEO reproduction "
+            "(seeded randomness, clock discipline, lock guards, "
+            "__all__ and to_dict/from_dict parity)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="also write the machine-readable report to PATH",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def run(
+    paths: list[str],
+    select: str | None = None,
+    json_path: str | None = None,
+) -> int:
+    """Shared runner; returns the process exit code (0 = clean tree)."""
+    codes = (
+        [c.strip() for c in select.split(",") if c.strip()] if select else None
+    )
+    report = run_paths(paths, select=codes)
+    print(render_text(report))
+    if json_path is not None:
+        out = Path(json_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_json(report) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+    return run(args.paths, select=args.select, json_path=args.json_path)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,376 @@
+"""Runtime lock-order sanitizer: inversion (ABBA) and stall detection.
+
+Opt-in (``REPRO_LOCKWATCH=1``): :func:`install` replaces the
+``threading.Lock`` / ``threading.RLock`` factories with wrappers that
+report every acquisition to a process-wide :class:`LockWatcher`. The
+watcher maintains, per thread, the stack of locks currently held and,
+globally, the **acquired-before graph**: an edge ``A -> B`` means some
+thread acquired ``B`` while holding ``A``. A lock-order inversion —
+the precondition for an ABBA deadlock — is exactly a cycle in that
+graph, detected incrementally when adding an edge whose reverse path
+already exists. Detection needs only the *orders* to occur, not the
+deadlock itself, so a race that would hang once in a thousand runs is
+reported on the first clean run that exercises both orders.
+
+Two report streams:
+
+* **inversions** — cycles in the acquired-before graph, deduplicated by
+  lock pair, each carrying both acquisition orders' creation sites and
+  threads;
+* **long holds** — a lock held longer than ``stall_threshold_s``
+  (default 1s, ``REPRO_LOCKWATCH_STALL_S`` overrides), the runtime
+  smell behind convoy stalls in the serving dispatcher.
+
+Locks created *before* :func:`install` (interpreter-startup locks,
+import-time module locks) keep their raw types and are simply not
+tracked; the CI gate installs the watcher from ``tests/conftest.py``
+before the serving stack is imported, so every lock the resilience and
+serving suites construct is covered. ``threading.Condition()`` is
+covered transitively — it allocates its inner lock through the patched
+``threading.RLock`` factory.
+
+Determinism note: this module reads ``time.monotonic`` for hold timing
+and is therefore *not* part of the deterministic SC path; it observes
+the system, it never feeds results back into it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+ENV_FLAG = "REPRO_LOCKWATCH"
+STALL_ENV = "REPRO_LOCKWATCH_STALL_S"
+DEFAULT_STALL_S = 1.0
+
+#: Raw factories captured at import, used for the watcher's own
+#: bookkeeping and restored by :func:`uninstall`.
+_RAW_LOCK = threading.Lock
+_RAW_RLOCK = threading.RLock
+
+_KEYS = itertools.count(1)
+
+
+class LockOrderError(AssertionError):
+    """Raised by :meth:`LockWatcher.assert_clean` on recorded inversions."""
+
+
+def enabled_from_env() -> bool:
+    return os.environ.get(ENV_FLAG, "").strip().lower() in (
+        "1", "true", "on", "yes",
+    )
+
+
+def _creation_site() -> str:
+    """``file:line`` of the frame that called the lock factory."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if module != __name__ and not module.startswith("threading"):
+            filename = frame.f_code.co_filename.replace("\\", "/")
+            tail = "/".join(filename.split("/")[-2:])
+            return f"{tail}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"  # pragma: no cover - frames always exist
+
+
+def _thread_name() -> str:
+    """Best-effort current thread name.
+
+    Never ``threading.current_thread()``: during a thread's bootstrap
+    (its Event.set runs before the ``_active`` registration) that call
+    constructs a ``_DummyThread``, whose ``__init__`` sets *another*
+    watched Event and recurses back here without bound.
+    """
+    ident = threading.get_ident()
+    thread = getattr(threading, "_active", {}).get(ident)
+    return thread.name if thread is not None else f"thread-{ident}"
+
+
+class _Held:
+    """One entry on a thread's held-lock stack."""
+
+    __slots__ = ("key", "name", "count", "acquired_at")
+
+    def __init__(self, key: int, name: str, acquired_at: float):
+        self.key = key
+        self.name = name
+        self.count = 1
+        self.acquired_at = acquired_at
+
+
+class LockWatcher:
+    """Process-wide acquisition recorder + inversion/stall detector."""
+
+    def __init__(self, stall_threshold_s: float | None = None):
+        if stall_threshold_s is None:
+            stall_threshold_s = float(
+                os.environ.get(STALL_ENV, DEFAULT_STALL_S)
+            )
+        self.stall_threshold_s = stall_threshold_s
+        self._lock = _RAW_LOCK()  # guards: _edges, _edge_info, _names, inversions, long_holds, _reported_pairs, acquisitions
+        self._local = threading.local()
+        self._edges: dict[int, set[int]] = {}  # key -> keys acquired after
+        self._edge_info: dict[tuple[int, int], dict] = {}
+        self._names: dict[int, str] = {}
+        self._reported_pairs: set[frozenset] = set()
+        self.inversions: list[dict] = []
+        self.long_holds: list[dict] = []
+        self.acquisitions = 0
+
+    # -- per-thread stack ----------------------------------------------------
+
+    def _stack(self) -> list[_Held]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # -- wrapper callbacks ---------------------------------------------------
+
+    def note_acquire(self, key: int, name: str) -> None:
+        stack = self._stack()
+        for held in stack:
+            if held.key == key:  # re-entrant (RLock) acquire: no new edge
+                held.count += 1
+                return
+        now = time.monotonic()
+        holders = [(h.key, h.name) for h in stack]
+        stack.append(_Held(key, name, now))
+        thread = _thread_name()
+        with self._lock:
+            self.acquisitions += 1
+            self._names[key] = name
+            self._names.update(dict(holders))
+            for prior_key, prior_name in holders:
+                edge = (prior_key, key)
+                fresh = key not in self._edges.get(prior_key, ())
+                self._edges.setdefault(prior_key, set()).add(key)
+                if edge not in self._edge_info:
+                    self._edge_info[edge] = {
+                        "first": prior_name,
+                        "then": name,
+                        "thread": thread,
+                    }
+                if fresh:
+                    self._detect_inversion_locked(prior_key, key)
+
+    def note_release(self, key: int, name: str, all_levels: bool = False) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            held = stack[index]
+            if held.key != key:
+                continue
+            held.count = 0 if all_levels else held.count - 1
+            if held.count <= 0:
+                del stack[index]
+                held_for = time.monotonic() - held.acquired_at
+                if held_for >= self.stall_threshold_s:
+                    with self._lock:
+                        self.long_holds.append(
+                            {
+                                "lock": name,
+                                "held_s": round(held_for, 4),
+                                "thread": _thread_name(),
+                            }
+                        )
+            return
+        # Release of a lock this thread never noted (acquired before
+        # install, or handed across threads): ignore quietly.
+
+    # -- inversion detection (holding self._lock) ----------------------------
+
+    def _detect_inversion_locked(self, frm: int, to: int) -> None:
+        """Adding ``frm -> to`` closes a cycle iff ``to`` reaches ``frm``."""
+        parents: dict[int, int] = {to: to}
+        queue = [to]
+        while queue:
+            node = queue.pop()
+            for nxt in self._edges.get(node, ()):
+                if nxt in parents:
+                    continue
+                parents[nxt] = node
+                if nxt == frm:
+                    self._record_inversion_locked(frm, to, parents)
+                    return
+                queue.append(nxt)
+
+    def _record_inversion_locked(
+        self, frm: int, to: int, parents: dict[int, int]
+    ) -> None:
+        pair = frozenset((frm, to))
+        if pair in self._reported_pairs:
+            return
+        self._reported_pairs.add(pair)
+        path = [frm]
+        node = frm
+        while node != to:
+            node = parents[node]
+            path.append(node)
+        path.reverse()  # to -> ... -> frm, the pre-existing order
+        self.inversions.append(
+            {
+                "locks": [self._names.get(frm, "?"), self._names.get(to, "?")],
+                "new_order": {
+                    "first": self._names.get(frm, "?"),
+                    "then": self._names.get(to, "?"),
+                    "thread": _thread_name(),
+                },
+                "existing_path": [self._names.get(k, "?") for k in path],
+                "existing_order": self._edge_info.get(
+                    (to, path[1]) if len(path) > 1 else (to, frm), {}
+                ),
+            }
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> dict:
+        with self._lock:
+            return {
+                "locks_tracked": len(self._names),
+                "acquisitions": self.acquisitions,
+                "edges": sum(len(v) for v in self._edges.values()),
+                "inversions": list(self.inversions),
+                "long_holds": list(self.long_holds),
+            }
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockOrderError` if any inversion was recorded."""
+        report = self.report()
+        if report["inversions"]:
+            details = "; ".join(
+                f"{inv['locks'][0]} <-> {inv['locks'][1]} "
+                f"(path {' -> '.join(inv['existing_path'])})"
+                for inv in report["inversions"]
+            )
+            raise LockOrderError(
+                f"{len(report['inversions'])} lock-order inversion(s) "
+                f"detected: {details}"
+            )
+
+
+# -- lock wrappers ------------------------------------------------------------
+
+
+class _WatchedLock:
+    """Tracking proxy around a raw ``threading.Lock``."""
+
+    def __init__(self, inner, name: str, watcher: LockWatcher):
+        self._inner = inner
+        self._name = name
+        self._watcher = watcher
+        self._key = next(_KEYS)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watcher.note_acquire(self._key, self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._watcher.note_release(self._key, self._name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __getattr__(self, attr: str):
+        # Delegate private lock APIs (e.g. multiprocessing's
+        # ``_recursion_count``) straight to the raw lock; raises
+        # AttributeError for names the raw type lacks, which is what
+        # threading.Condition's feature probes expect of a plain Lock.
+        return getattr(object.__getattribute__(self, "_inner"), attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<watched {self._inner!r} from {self._name}>"
+
+
+class _WatchedRLock(_WatchedLock):
+    """Tracking proxy around a raw ``threading.RLock``.
+
+    Implements the private protocol :class:`threading.Condition` uses
+    (``_release_save`` / ``_acquire_restore`` / ``_is_owned``) so a
+    Condition built on a watched RLock keeps the held-stack accurate
+    across ``wait()``.
+    """
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        self._watcher.note_release(self._key, self._name, all_levels=True)
+        return self._inner._release_save()
+
+    def _acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+        self._watcher.note_acquire(self._key, self._name)
+
+
+def wrap_lock(lock, name: str, watcher: LockWatcher):
+    """Wrap an existing lock object for tracking (tests, manual use)."""
+    if hasattr(lock, "_is_owned"):
+        return _WatchedRLock(lock, name, watcher)
+    return _WatchedLock(lock, name, watcher)
+
+
+# -- installation -------------------------------------------------------------
+
+_ACTIVE: LockWatcher | None = None
+
+
+def active() -> LockWatcher | None:
+    """The installed watcher, or None."""
+    return _ACTIVE
+
+
+def install(watcher: LockWatcher | None = None) -> LockWatcher:
+    """Patch the ``threading`` lock factories; idempotent.
+
+    Returns the active watcher (the existing one if already installed —
+    a second install never replaces a live watcher, so CI's early
+    conftest install wins over later opportunistic calls).
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        return _ACTIVE
+    _ACTIVE = watcher if watcher is not None else LockWatcher()
+
+    def make_lock():
+        return _WatchedLock(_RAW_LOCK(), _creation_site(), _ACTIVE)
+
+    def make_rlock():
+        return _WatchedRLock(_RAW_RLOCK(), _creation_site(), _ACTIVE)
+
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Restore the raw factories (already-created wrappers keep working)."""
+    global _ACTIVE
+    threading.Lock = _RAW_LOCK
+    threading.RLock = _RAW_RLOCK
+    _ACTIVE = None
+
+
+@contextmanager
+def watch(watcher: LockWatcher | None = None):
+    """Scoped :func:`install` / :func:`uninstall` (tests)."""
+    installed = install(watcher)
+    try:
+        yield installed
+    finally:
+        uninstall()

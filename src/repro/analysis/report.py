@@ -1,0 +1,45 @@
+"""Reporters for :class:`~repro.analysis.core.AnalysisReport`.
+
+Two formats from one report object: a human one-line-per-finding text
+rendering for terminals, and a stable JSON document for CI artifacts
+(uploaded by the ``lint-invariants`` job so a red build ships its own
+evidence).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.core import AnalysisReport, iter_rules
+
+
+def render_text(report: AnalysisReport) -> str:
+    """``path:line:col CODE message`` per finding plus a summary line."""
+    lines = [
+        f"{f.location()} {f.code} {f.message}" for f in report.findings
+    ]
+    by_code = Counter(f.code for f in report.findings)
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_scanned} "
+        f"file(s), {report.suppressed} suppressed"
+    )
+    if by_code:
+        breakdown = ", ".join(
+            f"{code}: {count}" for code, count in sorted(by_code.items())
+        )
+        summary += f" [{breakdown}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_rule_table() -> str:
+    """The ``--list-rules`` output: one row per registered rule."""
+    rows = ["code    name                             summary"]
+    for rule in iter_rules():
+        rows.append(f"{rule.code}  {rule.name:<32} {rule.summary}")
+    return "\n".join(rows)

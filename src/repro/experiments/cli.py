@@ -32,12 +32,14 @@ from repro.experiments.table2_ulp import render_table2, run_table2
 from repro.experiments.table3_lp import render_table3, run_table3
 from repro.experiments import export
 
-EXPERIMENTS = (
+#: Experiment harnesses `all` iterates over (each runs standalone too).
+RUNNABLE = (
     "fig1", "fig2", "fig5", "fig6",
     "table1", "table2", "table3",
-    "ablations", "ablations-training", "all",
-    "serve",
+    "ablations", "ablations-training",
 )
+
+EXPERIMENTS = RUNNABLE + ("all", "serve", "lint")
 
 
 def _run(name: str, scale: str, csv_dir: str | None = None) -> None:
@@ -129,7 +131,7 @@ def _run_serve(args) -> int:
         f"{len(entry.tiers)} tier(s), backend {backend.name!r}"
         f"{chaos_note}) on "
         f"http://{args.host}:{server.port} — POST /predict, "
-        f"GET /healthz, GET /stats; Ctrl-C to stop"
+        "GET /healthz, GET /stats; Ctrl-C to stop"
     )
     try:
         server.serve_forever()
@@ -207,17 +209,40 @@ def main(argv: list[str] | None = None) -> int:
         help="per-attempt batch execution timeout (0 disables; default "
         "uses the policy's 10s)",
     )
+    lint_group = parser.add_argument_group(
+        "lint", "options for `geo-repro lint` (the repro.analysis rules)"
+    )
+    lint_group.add_argument(
+        "--paths", nargs="+", default=["src"], metavar="PATH",
+        help="files or directories to scan (default: src)",
+    )
+    lint_group.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated RPR rule codes to run (default: all)",
+    )
+    lint_group.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="also write the machine-readable lint report to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "serve":
         return _run_serve(args)
+
+    if args.experiment == "lint":
+        # Same runner and reporters as `python -m repro.analysis`.
+        from repro.analysis.cli import run as lint_run
+
+        return lint_run(
+            args.paths, select=args.select, json_path=args.json_path
+        )
 
     if args.profile:
         obs.reset()  # profile this invocation only, not import-time noise
 
     with obs.span("cli.run", experiment=args.experiment, scale=args.scale):
         if args.experiment == "all":
-            for name in EXPERIMENTS[:-1]:
+            for name in RUNNABLE:
                 print(f"\n===== {name} =====")
                 _run(name, args.scale, args.csv_dir)
         else:

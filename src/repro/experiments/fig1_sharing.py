@@ -138,7 +138,7 @@ def run_fig1(
                 result.mismatch_accuracy[(sharing, length)] = acc
                 if verbose:
                     print(
-                        f"  fig1 mismatch trained=trng eval=lfsr "
+                        "  fig1 mismatch trained=trng eval=lfsr "
                         f"sharing={sharing:8s} L={length:3d}: {acc:.3f}",
                         flush=True,
                     )

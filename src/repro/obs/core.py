@@ -78,7 +78,7 @@ class Counter:
         self.name = name
         self.unit = unit
         self._value = 0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _value
 
     def add(self, amount: int | float = 1) -> None:
         with self._lock:
@@ -106,7 +106,7 @@ class Gauge:
         self.unit = unit
         self._value = 0.0
         self._max = 0.0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _value, _max
 
     def set(self, value: int | float) -> None:
         with self._lock:
@@ -164,7 +164,7 @@ class Histogram:
         self._count = 0
         self._min = None
         self._max = None
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _counts, _sum, _count, _min, _max
 
     def observe(self, value: int | float) -> None:
         index = len(self.bounds)
@@ -356,7 +356,7 @@ class Registry:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: spans, profiles, dropped_spans, dropped_profiles, _counters, _gauges, _histograms
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}

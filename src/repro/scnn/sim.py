@@ -250,7 +250,7 @@ class SCConvSimulator:
         self.stride = stride
         self.padding = padding
         self._call_index = 0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _state, _call_index
         self._plans: dict[int, SeedPlan] = {}  # per-LFSR-width plan cache
         self._state = _ExecState(
             cfg=cfg,

@@ -135,7 +135,7 @@ class InThreadBackend(ExecutionBackend):
     def __init__(self, chaos: ChaosConfig | None = None):
         self.chaos = chaos
         self._tasks = 0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _tasks
 
     def run(
         self,
@@ -342,7 +342,7 @@ class ProcessPoolBackend(ExecutionBackend):
             if start_method is not None
             else _pool_context()
         )
-        self._cond = threading.Condition()
+        self._cond = threading.Condition()  # guards: _workers, _idle, _known_models, _next_id, _stopping, _started, _ping_seq, counters
         self._workers: dict[int, _WorkerHandle] = {}
         self._idle: list[int] = []
         #: Models any worker has ever loaded; the supervisor preloads
@@ -398,16 +398,16 @@ class ProcessPoolBackend(ExecutionBackend):
                         for handle in self._workers.values()
                     ]
                     raise ServeError(
-                        f"every pool worker died during startup "
+                        "every pool worker died during startup "
                         f"(exitcodes {exitcodes}); when using spawn/"
-                        f"forkserver the owning script must be import-"
-                        f"safe (guard top-level work with "
-                        f"`if __name__ == '__main__':`)"
+                        "forkserver the owning script must be import-"
+                        "safe (guard top-level work with "
+                        "`if __name__ == '__main__':`)"
                     )
                 self._cond.wait(timeout=0.05)
             if not self._idle and not self._stopping:
                 raise ServeError(
-                    f"no pool worker became ready within "
+                    "no pool worker became ready within "
                     f"{self.spawn_timeout_s:.0f}s"
                 )
         self._supervisor = threading.Thread(
@@ -588,7 +588,8 @@ class ProcessPoolBackend(ExecutionBackend):
                 f"{reply!r}"
             )
         handle.loaded.add(entry.name)
-        self.counters["model_loads"] += 1
+        with self._cond:
+            self.counters["model_loads"] += 1
 
     def _preload(self, handle: _WorkerHandle, known: dict) -> None:
         """Warm a reserved (typically respawned) worker with every known
@@ -606,8 +607,9 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _heartbeat(self, handle: _WorkerHandle) -> None:
         """Ping one reserved idle worker; kill it if it fails the check."""
-        self._ping_seq += 1
-        seq = self._ping_seq
+        with self._cond:
+            self._ping_seq += 1
+            seq = self._ping_seq
         ok = False
         try:
             handle.conn.send(("ping", seq))
@@ -624,7 +626,8 @@ class ProcessPoolBackend(ExecutionBackend):
                     self._idle.append(handle.id)
                     self._cond.notify_all()
         else:
-            self.counters["heartbeat_failures"] += 1
+            with self._cond:
+                self.counters["heartbeat_failures"] += 1
             obs.counter("serve.heartbeat_failures").add(1)
             self._retire(handle, crashed=True)
 
@@ -644,7 +647,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise WorkerTimeoutError(
-                        f"no idle pool worker within "
+                        "no idle pool worker within "
                         f"{self.acquire_timeout_s:.1f}s"
                     )
                 self._cond.wait(timeout=min(remaining, 0.05))
@@ -667,14 +670,16 @@ class ProcessPoolBackend(ExecutionBackend):
         """One response from a busy worker, or a typed failure."""
         try:
             if not handle.conn.poll(timeout_s):
-                self.counters["timeouts"] += 1
+                with self._cond:
+                    self.counters["timeouts"] += 1
                 obs.counter("serve.worker_timeouts").add(1)
                 raise WorkerTimeoutError(
                     f"worker {handle.id} exceeded {timeout_s:.3f}s; killed"
                 )
             return handle.conn.recv()
         except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
-            self.counters["crashes_detected"] += 1
+            with self._cond:
+                self.counters["crashes_detected"] += 1
             obs.counter("serve.worker_crashes").add(1)
             raise WorkerCrashError(
                 f"worker {handle.id} died mid-request "
@@ -711,7 +716,8 @@ class ProcessPoolBackend(ExecutionBackend):
             logits = _validate_logits(reply[1], batch.shape[0], entry.name)
             healthy = True
             handle.tasks += 1
-            self.counters["tasks"] += 1
+            with self._cond:
+                self.counters["tasks"] += 1
             return logits, reply[2]
         finally:
             self._release(handle, healthy)

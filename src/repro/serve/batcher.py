@@ -71,7 +71,7 @@ class MicroBatcher:
         self.max_queue = max_queue
         self.clock = clock
         self._queue: deque[PendingRequest] = deque()
-        self._cond = threading.Condition()
+        self._cond = threading.Condition()  # guards: _queue
         self._depth_gauge = obs.gauge("serve.queue_depth")
 
     # -- producer side -------------------------------------------------------

@@ -68,7 +68,7 @@ class CircuitBreaker:
         self.name = name
         self.policy = policy or BreakerPolicy()
         self.clock = clock
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _state, _consecutive_failures, _opened_at, _probes_in_flight, trips
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at: float | None = None

@@ -64,7 +64,7 @@ class ModelEntry:
     sc_config: SCConfig | None
     tiers: list[dict[str, int]]
     tier: int = 0
-    lock: threading.RLock = field(default_factory=threading.RLock)
+    lock: threading.RLock = field(default_factory=threading.RLock)  # guards: tier
 
     @property
     def degradable(self) -> bool:
@@ -114,7 +114,7 @@ class ModelRegistry:
 
     def __init__(self):
         self._entries: dict[str, ModelEntry] = {}
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _entries
 
     def register(
         self,

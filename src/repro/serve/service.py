@@ -172,7 +172,7 @@ class InferenceService:
         # coalescing sees it, and expiry still applies — instead of
         # piling up invisibly behind the pool.
         self._inflight_slots = threading.Semaphore(self._dispatch_parallelism)
-        self._state_lock = threading.Lock()
+        self._state_lock = threading.Lock()  # guards: _in_flight, _breakers, _controllers
         self._stop = threading.Event()
         self._dispatcher: threading.Thread | None = None
         self._accepted = _Stat("serve.requests_accepted")
@@ -254,7 +254,7 @@ class InferenceService:
             raise CircuitOpenError(
                 f"circuit open for model {model!r} "
                 f"({breaker.to_dict()['consecutive_failures']} consecutive "
-                f"failures); retry later",
+                "failures); retry later",
                 retry_after_s=breaker.retry_after_s(),
             )
         if deadline_s == -1.0:
@@ -301,13 +301,14 @@ class InferenceService:
     # -- dispatch ------------------------------------------------------------
 
     def _controller(self, entry: ModelEntry) -> DegradeController:
-        controller = self._controllers.get(entry.name)
-        if controller is None:
-            controller = DegradeController(
-                self.policy, entry.max_tier, clock=self.clock
-            )
-            self._controllers[entry.name] = controller
-        return controller
+        with self._state_lock:
+            controller = self._controllers.get(entry.name)
+            if controller is None:
+                controller = DegradeController(
+                    self.policy, entry.max_tier, clock=self.clock
+                )
+                self._controllers[entry.name] = controller
+            return controller
 
     def _breaker(self, name: str) -> CircuitBreaker:
         with self._state_lock:
@@ -348,7 +349,7 @@ class InferenceService:
                 self._deadline_expired.add(1)
             request.future.set_exception(
                 DeadlineExceededError(
-                    f"deadline elapsed after "
+                    "deadline elapsed after "
                     f"{self.clock() - request.enqueued_at:.3f}s "
                     f"{'at dequeue' if at_dequeue else 'in queue'}"
                 )

@@ -31,7 +31,7 @@ _R = TypeVar("_R")
 
 _POOL: ThreadPoolExecutor | None = None
 _POOL_SIZE = 0
-_POOL_LOCK = threading.Lock()
+_POOL_LOCK = threading.Lock()  # guards: _POOL, _POOL_SIZE
 
 
 def cpu_count() -> int:

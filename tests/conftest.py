@@ -1,0 +1,44 @@
+"""Shared pytest configuration.
+
+Two duties:
+
+* keep the lint fixture tree (deliberately broken Python) out of test
+  collection — it exists to be scanned by ``repro.analysis``, not run;
+* opt-in runtime lock-order sanitizing: under ``REPRO_LOCKWATCH=1`` the
+  :mod:`repro.analysis.lockwatch` wrappers are installed *here*, before
+  any test module imports the serving stack, so every lock the suites
+  construct is tracked. A session-end hook fails the run on recorded
+  lock-order inversions and prints long-hold stalls.
+"""
+
+import warnings
+
+from repro.analysis import lockwatch
+
+collect_ignore_glob = ["fixtures/*"]
+
+if lockwatch.enabled_from_env():
+    lockwatch.install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    watcher = lockwatch.active()
+    if watcher is None:
+        return
+    report = watcher.report()
+    for stall in report["long_holds"]:
+        warnings.warn(
+            f"lockwatch: {stall['lock']} held {stall['held_s']}s "
+            f"on {stall['thread']}",
+            stacklevel=0,
+        )
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line(
+            f"lockwatch: {report['locks_tracked']} locks, "
+            f"{report['acquisitions']} acquisitions, "
+            f"{report['edges']} order edges, "
+            f"{len(report['inversions'])} inversion(s), "
+            f"{len(report['long_holds'])} long hold(s)"
+        )
+    watcher.assert_clean()

@@ -1,0 +1,16 @@
+"""RPR004 fixture: __all__ drift in both directions."""
+
+
+def exported():
+    return 1
+
+
+def forgotten():  # public but missing from __all__
+    return 2
+
+
+def _private():  # leading underscore: never required in __all__
+    return 3
+
+
+__all__ = ["exported", "ghost"]  # "ghost" is not defined anywhere

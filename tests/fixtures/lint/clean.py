@@ -1,0 +1,18 @@
+"""Negative fixture: exercises every rule's surface without violations."""
+
+import threading
+
+import numpy as np
+
+rng = np.random.default_rng(1234)
+sample = rng.normal(size=4)
+
+
+class Safe:
+    def __init__(self):
+        self._lock = threading.Lock()  # guards: _value
+        self._value = 0
+
+    def bump(self):
+        with self._lock:
+            self._value += 1

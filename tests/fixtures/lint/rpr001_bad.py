@@ -1,0 +1,16 @@
+"""RPR001 fixture: unseeded randomness, with alias and from-import forms."""
+
+import random
+
+import numpy as np
+import numpy.random as npr
+from numpy import random as nprandom
+
+x = np.random.rand(3)            # line 9: unseeded np.random draw
+y = npr.standard_normal(4)       # line 10: alias still resolves
+z = nprandom.default_rng()       # line 11: seedable ctor with NO seed
+w = random.random()              # line 12: bare stdlib random
+shuffled = random.Random(7)      # ok: explicitly seeded
+rng = np.random.default_rng(42)  # ok: seeded generator
+vals = rng.normal(size=8)        # ok: drawn from an explicit generator
+noqa = np.random.rand(2)  # repro: noqa-RPR001 -- fixture demonstrates suppression

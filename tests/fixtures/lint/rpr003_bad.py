@@ -1,0 +1,45 @@
+"""RPR003 fixture: guarded fields mutated outside their lock."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()  # guards: _count, _items
+        self._count = 0
+        self._items = []
+
+    def good(self):
+        with self._lock:
+            self._count += 1
+            self._items.append(self._count)
+
+    def bad_augassign(self):
+        self._count += 1  # line 18: guarded field outside lock
+
+    def bad_method_call(self):
+        self._items.append(0)  # line 21: mutator call outside lock
+
+    def bad_nested(self):
+        if True:
+            with self._lock:
+                self._count += 1  # ok: lock held inside the if
+            self._count -= 1  # line 27: lock released again
+
+    def _rebuild_locked(self):
+        self._items = []  # ok: *_locked helpers run with the lock held
+
+
+_MODULE_LOCK = threading.Lock()  # guards: _TOTAL
+_TOTAL = 0
+
+
+def bump():
+    global _TOTAL
+    _TOTAL += 1  # line 39: module-level guarded name outside lock
+
+
+def bump_safely():
+    global _TOTAL
+    with _MODULE_LOCK:
+        _TOTAL += 1

@@ -1,0 +1,37 @@
+"""RPR005 fixture: to_dict/from_dict drift from the declared fields."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DriftedConfig:
+    length: int = 256
+    bits: int = 8
+    sharing: str = "rotate"
+
+    def to_dict(self) -> dict:
+        return {
+            "length": self.length,
+            "bits": self.bits,
+            "mode": self.sharing,  # line 16: "mode" is not a field
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "DriftedConfig":
+        return cls(
+            length=record["length"],
+            bits=record["bits"],
+            depth=record["depth"],  # line 24: "depth" is not a field
+        )
+
+
+@dataclass
+class CleanConfig:
+    length: int = 256
+
+    def to_dict(self) -> dict:
+        return {"length": self.length}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CleanConfig":
+        return cls(length=record["length"])

@@ -1,0 +1,9 @@
+"""RPR002 fixture: wall-clock reads inside a deterministic ('sc') module."""
+
+import time
+from datetime import datetime
+
+stamp = time.time()          # line 6: wall clock in deterministic module
+when = datetime.now()        # line 7: datetime.now too
+elapsed = time.monotonic()   # ok: monotonic is not wall-clock
+allowed = time.time()  # repro: noqa-RPR002 -- fixture demonstrates suppression

@@ -15,7 +15,6 @@ from repro.sc.accumulate import (
 from repro.sc.formats import quantize_unipolar
 from repro.sc.rng import LFSRSource
 from repro.sc.sng import SNG
-from repro.sc.streams import StreamBatch
 
 
 def product_streams(probabilities, length=512, bits=7, seed_offset=0):

@@ -1,0 +1,164 @@
+"""Tests for the repro.analysis invariant linter (RPR001-RPR005)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_paths
+from repro.analysis.cli import main as cli_main
+from repro.analysis.cli import run as cli_run
+from repro.analysis.core import PARSE_ERROR_CODE, iter_rules
+from repro.analysis.report import render_json, render_text
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO = Path(__file__).resolve().parents[1]
+
+
+def codes_and_lines(report, code=None):
+    findings = report.findings
+    if code is not None:
+        findings = [f for f in findings if f.code == code]
+    return [(f.code, f.line) for f in findings]
+
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    return run_paths([str(FIXTURES)])
+
+
+# -- rule-by-rule exactness ----------------------------------------------------
+
+
+def test_rpr001_unseeded_randomness(fixture_report):
+    assert codes_and_lines(fixture_report, "RPR001") == [
+        ("RPR001", 9),
+        ("RPR001", 10),
+        ("RPR001", 11),
+        ("RPR001", 12),
+    ]
+
+
+def test_rpr002_wall_clock(fixture_report):
+    assert codes_and_lines(fixture_report, "RPR002") == [
+        ("RPR002", 6),
+        ("RPR002", 7),
+    ]
+
+
+def test_rpr003_lock_guards(fixture_report):
+    assert codes_and_lines(fixture_report, "RPR003") == [
+        ("RPR003", 18),
+        ("RPR003", 21),
+        ("RPR003", 27),
+        ("RPR003", 39),
+    ]
+
+
+def test_rpr004_all_parity(fixture_report):
+    rpr004 = [
+        f for f in fixture_report.findings if f.code == "RPR004"
+    ]
+    assert len(rpr004) == 2
+    assert all(f.path.endswith("badpkg/__init__.py") for f in rpr004)
+    messages = sorted(f.message for f in rpr004)
+    assert "ghost" in messages[0]
+    assert "forgotten" in messages[1]
+
+
+def test_rpr005_roundtrip_parity(fixture_report):
+    assert codes_and_lines(fixture_report, "RPR005") == [
+        ("RPR005", 12),
+        ("RPR005", 16),
+        ("RPR005", 24),
+    ]
+
+
+def test_clean_fixture_has_no_findings(fixture_report):
+    assert not any(
+        f.path.endswith("clean.py") for f in fixture_report.findings
+    )
+
+
+def test_suppressions_counted_not_reported(fixture_report):
+    # rpr001_bad.py and sc/rpr002_bad.py each carry one noqa line.
+    assert fixture_report.suppressed == 2
+
+
+# -- framework behaviour -------------------------------------------------------
+
+
+def test_select_limits_rules(tmp_path):
+    report = run_paths([str(FIXTURES)], select=["RPR001"])
+    assert {f.code for f in report.findings} == {"RPR001"}
+
+
+def test_unknown_select_code_raises():
+    with pytest.raises(KeyError):
+        run_paths([str(FIXTURES)], select=["RPR999"])
+
+
+def test_parse_error_becomes_rpr000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def half(:\n", encoding="utf-8")
+    report = run_paths([str(bad)])
+    assert [f.code for f in report.findings] == [PARSE_ERROR_CODE]
+    assert not report.ok
+
+
+def test_findings_sorted_and_stable(fixture_report):
+    keys = [(f.path, f.line, f.code, f.col) for f in fixture_report.findings]
+    assert keys == sorted(keys)
+
+
+def test_rule_registry_complete():
+    codes = [rule.code for rule in iter_rules()]
+    assert codes == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+
+
+def test_src_tree_is_clean():
+    report = run_paths([str(REPO / "src")])
+    assert report.ok, render_text(report)
+
+
+# -- reporters and CLI ---------------------------------------------------------
+
+
+def test_json_report_shape(fixture_report):
+    payload = json.loads(render_json(fixture_report))
+    assert payload["version"] == 1
+    assert payload["files_scanned"] == fixture_report.files_scanned
+    assert payload["suppressed"] == 2
+    first = payload["findings"][0]
+    assert set(first) == {"code", "message", "path", "line", "col"}
+
+
+def test_cli_run_exit_codes(tmp_path, capsys):
+    json_out = tmp_path / "report" / "lint.json"
+    assert cli_run([str(FIXTURES)], json_path=str(json_out)) == 1
+    assert json_out.exists()
+    payload = json.loads(json_out.read_text(encoding="utf-8"))
+    assert payload["findings"]
+    assert cli_run([str(REPO / "src")]) == 0
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert code in out
+
+
+def test_module_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(FIXTURES)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "RPR001" in proc.stdout

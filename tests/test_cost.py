@@ -1,6 +1,5 @@
 """Tests for the cost models — including the Fig. 5 ratio claims."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

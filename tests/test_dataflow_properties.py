@@ -3,7 +3,6 @@ invariants that must hold for *any* layer the compiler can see."""
 
 import math
 
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

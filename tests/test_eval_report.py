@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.errors import ShapeError
 from repro.nn.tensor import Tensor
-from repro.scnn.eval import EvalReport, compare_arms, evaluate_detailed
+from repro.scnn.eval import compare_arms, evaluate_detailed
 
 
 class FixedModel(nn.Module):

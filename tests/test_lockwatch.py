@@ -1,0 +1,189 @@
+"""Tests for the runtime lock-order sanitizer (repro.analysis.lockwatch)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import lockwatch
+from repro.analysis.lockwatch import (
+    LockOrderError,
+    LockWatcher,
+    wrap_lock,
+)
+
+
+def make_pair(watcher):
+    a = wrap_lock(threading.Lock(), "lock-a", watcher)
+    b = wrap_lock(threading.Lock(), "lock-b", watcher)
+    return a, b
+
+
+def test_consistent_order_is_clean():
+    watcher = LockWatcher()
+    a, b = make_pair(watcher)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    report = watcher.report()
+    assert report["inversions"] == []
+    watcher.assert_clean()
+
+
+def test_abba_inversion_detected():
+    """The seeded ABBA fixture: opposite orders on two threads.
+
+    The threads run sequentially, so the test can never deadlock — the
+    sanitizer flags the *order* cycle, not an actual lockup."""
+    watcher = LockWatcher()
+    a, b = make_pair(watcher)
+
+    def ab():
+        with a:
+            with b:
+                pass
+
+    def ba():
+        with b:
+            with a:
+                pass
+
+    for target in (ab, ba):
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+
+    report = watcher.report()
+    assert len(report["inversions"]) == 1
+    inversion = report["inversions"][0]
+    assert set(inversion["locks"]) == {"lock-a", "lock-b"}
+    assert inversion["existing_path"]
+    with pytest.raises(LockOrderError):
+        watcher.assert_clean()
+
+
+def test_inversion_deduplicated_per_pair():
+    watcher = LockWatcher()
+    a, b = make_pair(watcher)
+    for _ in range(4):
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    assert len(watcher.report()["inversions"]) == 1
+
+
+def test_transitive_cycle_detected():
+    """a->b and b->c established, then c->a closes a 3-cycle."""
+    watcher = LockWatcher()
+    a = wrap_lock(threading.Lock(), "lock-a", watcher)
+    b = wrap_lock(threading.Lock(), "lock-b", watcher)
+    c = wrap_lock(threading.Lock(), "lock-c", watcher)
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:
+            pass
+    report = watcher.report()
+    assert len(report["inversions"]) == 1
+    assert len(report["inversions"][0]["existing_path"]) == 3
+
+
+def test_rlock_reentry_is_not_an_edge():
+    watcher = LockWatcher()
+    r = wrap_lock(threading.RLock(), "rlock", watcher)
+    other = wrap_lock(threading.Lock(), "other", watcher)
+    with r:
+        with r:  # re-entrant: must not create a self-edge
+            with other:
+                pass
+    report = watcher.report()
+    assert report["inversions"] == []
+    assert report["edges"] == 1  # only rlock -> other
+
+
+def test_long_hold_recorded():
+    watcher = LockWatcher(stall_threshold_s=0.01)
+    a = wrap_lock(threading.Lock(), "slow-lock", watcher)
+    with a:
+        time.sleep(0.03)
+    holds = watcher.report()["long_holds"]
+    assert len(holds) == 1
+    assert holds[0]["lock"] == "slow-lock"
+    assert holds[0]["held_s"] >= 0.01
+    watcher.assert_clean()  # stalls warn, they do not fail
+
+
+def test_try_acquire_failure_not_recorded():
+    watcher = LockWatcher()
+    a = wrap_lock(threading.Lock(), "contended", watcher)
+    a.acquire()
+    try:
+        assert a.acquire(blocking=False) is False
+    finally:
+        a.release()
+    assert watcher.report()["acquisitions"] == 1
+
+
+def test_install_patches_factories_and_uninstall_restores():
+    raw_lock, raw_rlock = threading.Lock, threading.RLock
+    try:
+        with lockwatch.watch() as watcher:
+            assert lockwatch.active() is watcher
+            lock = threading.Lock()
+            assert isinstance(lock, lockwatch._WatchedLock)
+            with lock:
+                pass
+            assert watcher.report()["acquisitions"] == 1
+            # Idempotent: second install keeps the live watcher.
+            assert lockwatch.install() is watcher
+        assert lockwatch.active() is None
+        assert threading.Lock is raw_lock
+        assert threading.RLock is raw_rlock
+    finally:
+        lockwatch.uninstall()
+
+
+def test_condition_on_watched_rlock_roundtrip():
+    """threading.Condition must work on the wrapped RLock, and wait()
+    must not corrupt the held-lock stack."""
+    try:
+        with lockwatch.watch() as watcher:
+            cond = threading.Condition()
+            assert isinstance(cond._lock, lockwatch._WatchedRLock)
+            hits = []
+
+            def consumer():
+                with cond:
+                    while not hits:
+                        cond.wait(timeout=1.0)
+                    hits.append("seen")
+
+            thread = threading.Thread(target=consumer)
+            thread.start()
+            time.sleep(0.02)
+            with cond:
+                hits.append("set")
+                cond.notify_all()
+            thread.join(timeout=2.0)
+            assert not thread.is_alive()
+            assert hits == ["set", "seen"]
+            watcher.assert_clean()
+    finally:
+        lockwatch.uninstall()
+
+
+def test_enabled_from_env(monkeypatch):
+    monkeypatch.delenv(lockwatch.ENV_FLAG, raising=False)
+    assert not lockwatch.enabled_from_env()
+    monkeypatch.setenv(lockwatch.ENV_FLAG, "1")
+    assert lockwatch.enabled_from_env()
+    monkeypatch.setenv(lockwatch.ENV_FLAG, "off")
+    assert not lockwatch.enabled_from_env()

@@ -1,7 +1,6 @@
 """Tests for SC layers, straight-through training, and config swapping."""
 
 import numpy as np
-import pytest
 
 from repro.nn import Adam
 from repro.nn import functional as F
