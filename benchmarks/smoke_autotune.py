@@ -1,0 +1,92 @@
+"""CI smoke: the per-shape autotuner tunes once, then reuses the plan.
+
+Runs one tiny fused-call shape with ``autotune=True`` against a scratch
+plan-cache file and asserts the contract the plan cache exists for:
+
+* the first call is a miss that tunes and **persists** a plan,
+* the second call (same process) is a pure in-memory hit,
+* a fresh :class:`~repro.sc.tuner.PlanCache` on the same file loads the
+  persisted plan, so a new process would pay zero tuning overhead,
+* tuned and untuned results are bit-identical.
+
+Shape and probe sizes are deliberately tiny — this guards the caching
+machinery, not the measured geometry (that is ``bench_hot_path.py``'s
+job).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/smoke_autotune.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.sc import tuner
+from repro.sc.rng import LFSRSource
+from repro.sc.kernels import fused_conv_counts
+from repro.scnn.sim import stream_table
+
+N, CIN, COUT, K, P, BITS, LENGTH = 2, 2, 3, 3, 12, 5, 32
+
+
+def _operands():
+    rng = np.random.default_rng(11)
+    source = LFSRSource(BITS)
+    seeds = np.arange(1, 1 + CIN * K * K + COUT)
+    table, unique = stream_table(source, BITS, LENGTH, seeds, False)
+    act_rows = np.searchsorted(unique, seeds[: CIN * K * K].reshape(CIN, K, K))
+    cols = rng.integers(0, 1 << BITS, size=(N, CIN, K, K, P))
+    wq = rng.integers(0, 1 << BITS, size=(COUT, CIN, K, K))
+    wrow = np.searchsorted(unique, seeds[CIN * K * K:])
+    wp = table[wrow[:, None, None, None] % table.shape[0], wq]
+    wn = table[
+        wrow[:, None, None, None] % table.shape[0], (wq + 3) % (1 << BITS)
+    ]
+    return table, act_rows, cols, wp, wn
+
+
+def run_smoke() -> None:
+    operands = _operands()
+    baseline = fused_conv_counts(*operands, "pbhw", autotune=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = Path(tmp) / "plans.json"
+        cache = tuner.PlanCache(cache_path)
+        tuner.set_plan_cache(cache)
+        try:
+            first = fused_conv_counts(*operands, "pbhw", autotune=True)
+            assert cache.misses == 1 and cache.tunes == 1, (
+                cache.misses, cache.tunes,
+            )
+            assert len(cache) == 1
+            assert cache_path.exists(), "plan was not persisted"
+            second = fused_conv_counts(*operands, "pbhw", autotune=True)
+            assert cache.hits == 1 and cache.tunes == 1, (
+                cache.hits, cache.tunes,
+            )
+            np.testing.assert_array_equal(first, baseline)
+            np.testing.assert_array_equal(second, baseline)
+            # A fresh cache on the same file sees the persisted plan:
+            # the cross-process reuse path.
+            reload_cache = tuner.PlanCache(cache_path)
+            tuner.set_plan_cache(reload_cache)
+            third = fused_conv_counts(*operands, "pbhw", autotune=True)
+            assert reload_cache.hits == 1 and reload_cache.tunes == 0, (
+                reload_cache.hits, reload_cache.tunes,
+            )
+            np.testing.assert_array_equal(third, baseline)
+        finally:
+            tuner.set_plan_cache(None)
+    print(
+        "autotune smoke OK: 1 tune, in-process hit, on-disk reuse, "
+        "bit-identical results"
+    )
+
+
+def test_autotune_smoke():
+    run_smoke()
+
+
+if __name__ == "__main__":
+    run_smoke()

@@ -43,7 +43,20 @@ from repro.sc.accumulate import (
     binary_group_count,
     expected_accumulate,
 )
-from repro.sc.kernels import fused_conv_counts, group_structure
+from repro.sc.kernels import (
+    ExecPlan,
+    fused_conv_counts,
+    group_structure,
+    heuristic_plan,
+)
+from repro.sc.tuner import (
+    PlanCache,
+    autotune_enabled,
+    clear_plan_cache,
+    get_plan_cache,
+    plan_for,
+    set_default_autotune,
+)
 from repro.sc.sharing import SeedPlan, SharingLevel, lfsr_count, plan_seeds
 from repro.sc.progressive import (
     MultiplicationErrorCurve,
@@ -109,8 +122,16 @@ __all__ = [
     "accumulate_products",
     "binary_group_count",
     "expected_accumulate",
+    "ExecPlan",
     "fused_conv_counts",
     "group_structure",
+    "heuristic_plan",
+    "PlanCache",
+    "autotune_enabled",
+    "clear_plan_cache",
+    "get_plan_cache",
+    "plan_for",
+    "set_default_autotune",
     "SeedPlan",
     "SharingLevel",
     "lfsr_count",

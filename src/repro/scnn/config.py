@@ -61,6 +61,13 @@ class SCConfig:
         Worker threads the fused engine shards across: ``1`` serial,
         ``n > 1`` that many workers, ``0`` one per available CPU. The
         reference engine ignores this knob.
+    autotune:
+        When true, the fused engine resolves its slab/chunk geometry and
+        dense-vs-sparse path per layer shape through
+        :mod:`repro.sc.tuner` (benchmarked once per shape, cached
+        in-process and optionally on disk). When false, a shape
+        heuristic picks the plan. The reference engine ignores this
+        knob; results are bit-identical either way.
     """
 
     stream_length: int = 128
@@ -75,6 +82,7 @@ class SCConfig:
     trng_eval_freeze: bool = False
     engine: str = "fused"
     num_workers: int = 1
+    autotune: bool = False
 
     def __post_init__(self):
         for name in ("stream_length", "stream_length_pooling", "output_stream_length"):

@@ -196,7 +196,9 @@ def _reduce_products(
 
 #: Execution-only knobs that can change without invalidating a
 #: simulator's seed plan or stream tables.
-_EXECUTION_KNOBS = frozenset({"engine", "num_workers", "batch_chunk"})
+_EXECUTION_KNOBS = frozenset(
+    {"engine", "num_workers", "batch_chunk", "autotune"}
+)
 
 #: Stream-length knobs reconfigurable in place. Changing one swaps the
 #: simulator onto a different (cached) seed plan and a different LRU
@@ -390,6 +392,10 @@ class SCConvSimulator:
         reg = obs.get_registry()
         mode = cfg.accumulation
         bytes_touched = 0
+        nnz_before = reg.counter("sc.kernels.nnz_words", unit="words").value
+        skip_before = (
+            reg.counter("sc.kernels.skipped_words", unit="words").value
+        )
         with reg.span(
             "scnn.conv_forward",
             layer=self.layer_index,
@@ -441,6 +447,7 @@ class SCConvSimulator:
                             wn,
                             mode,
                             num_workers=cfg.num_workers,
+                            autotune=cfg.autotune or None,
                         )  # (nc, Cout, OH*OW)
                     out[start : start + chunk] = (
                         (signed / length)
@@ -464,6 +471,15 @@ class SCConvSimulator:
         if reg.enabled:
             bytes_touched += table.nbytes + wp.nbytes + wn.nbytes + out.nbytes
             reg.counter(f"scnn.outputs.{mode.value}").add(out.size)
+            nnz_words = (
+                reg.counter("sc.kernels.nnz_words", unit="words").value
+                - nnz_before
+            )
+            skipped_words = (
+                reg.counter("sc.kernels.skipped_words", unit="words").value
+                - skip_before
+            )
+            touched = nnz_words + skipped_words
             reg.add_profile(
                 {
                     "kind": "layer_forward",
@@ -481,6 +497,13 @@ class SCConvSimulator:
                     "wall_s": sp.wall_s,
                     "cpu_s": sp.cpu_s,
                     "workers": cfg.num_workers,
+                    # Realized sparse-path sparsity for this forward (zero
+                    # when the dense path ran: it keeps no word counters).
+                    "nnz_words": int(nnz_words),
+                    "skipped_words": int(skipped_words),
+                    "word_sparsity": (
+                        float(skipped_words / touched) if touched else 0.0
+                    ),
                 }
             )
         return out

@@ -204,3 +204,275 @@ class TestFusedConvCounts:
             table, act_rows, cols, wp, wn, AccumulationMode.parse(mode)
         )
         np.testing.assert_array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Execution plans, layouts, and the sparse path
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.sc.kernels import (  # noqa: E402
+    _MIN_SPATIAL_CHUNK,
+    ExecPlan,
+    _chunk_sizes,
+    _natural_order,
+    heuristic_plan,
+)
+from repro.sc.rng import LFSRSource  # noqa: E402
+from repro.scnn.sim import stream_table  # noqa: E402
+from repro.utils.bitops import popcount_packed  # noqa: E402
+
+
+def _kernel_operands(n=2, cin=2, cout=3, k=3, p=10, bits=5, length=32,
+                     seed=0, wn_offset=3):
+    """Standalone fused-call operands (module-level twin of
+    ``TestFusedConvCounts._operands`` for the new test classes)."""
+    rng = np.random.default_rng(seed)
+    source = LFSRSource(bits)
+    seeds = np.arange(1, 1 + cin * k * k + cout)
+    table, unique = stream_table(source, bits, length, seeds, False)
+    act_rows = np.searchsorted(unique, seeds[: cin * k * k].reshape(cin, k, k))
+    cols = rng.integers(0, 1 << bits, size=(n, cin, k, k, p))
+    wq = rng.integers(0, 1 << bits, size=(cout, cin, k, k))
+    wrow = np.searchsorted(unique, seeds[cin * k * k:])
+    wp = table[wrow[:, None, None, None] % table.shape[0], wq]
+    wn = table[
+        wrow[:, None, None, None] % table.shape[0],
+        (wq + wn_offset) % (1 << bits),
+    ]
+    return table, act_rows, cols, wp, wn
+
+
+def _oracle_counts(table, act_rows, cols, wp, wn, mode):
+    """Brute-force reference: per-channel, per-group AND → OR → popcount.
+
+    Deliberately the dumbest possible evaluation order — no slabs, no
+    chunking, no layouts — so every fused variant has one fixed oracle.
+    """
+    n, cin, kh, kw, p = cols.shape
+    k = cin * kh * kw
+    words = table.shape[-1]
+    cout = wp.shape[0]
+    group_k, _ = group_structure(mode, cin, kh, kw)
+    rows = np.asarray(act_rows).reshape(k)
+    cols_f = np.asarray(cols).reshape(n, k, p)
+    act = table[rows[None, :, None], cols_f]  # (N, K, P, words)
+    out = np.zeros((n, cout, p), dtype=np.int64)
+    for co in range(cout):
+        for sign, w in ((1, wp), (-1, wn)):
+            w_f = w.reshape(cout, k, words)[co]
+            for grp in group_k:
+                merged = np.zeros((n, p, words), dtype=table.dtype)
+                for slot in grp:
+                    if slot == k:  # APC zero-pad sentinel
+                        continue
+                    merged |= act[:, slot] & w_f[slot]
+                out[:, co] += sign * popcount_packed(
+                    merged[:, None]
+                ).reshape(n, p)
+    return out
+
+
+class TestChunkSizesProperties:
+    @given(
+        n=st.integers(1, 8),
+        m=st.integers(1, 64),
+        g=st.integers(1, 32),
+        s=st.integers(1, 32),
+        words=st.integers(1, 4),
+        p=st.integers(1, 512),
+        slab_bytes=st.integers(1, 1 << 22),
+        channel_block=st.integers(1, 64),
+        spatial_chunk=st.integers(0, 600),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_invariants(self, n, m, g, s, words, p, slab_bytes,
+                        channel_block, spatial_chunk):
+        pc, mb = _chunk_sizes(
+            n, m, g, s, words, p, slab_bytes,
+            channel_block=channel_block, spatial_chunk=spatial_chunk,
+        )
+        per_unit = max(1, n * g * s * words * 8)
+        # Bounds.
+        assert 1 <= pc <= p
+        assert 1 <= mb <= m
+        # Budget: the slab fits unless the block is already minimal.
+        assert mb == 1 or per_unit * mb * pc <= slab_bytes
+        # Derived mode never picks a pathologically thin spatial chunk
+        # when the budget (at mb == 1) would allow a wider one.
+        if spatial_chunk == 0 and mb == 1:
+            achievable = max(1, min(p, slab_bytes // per_unit))
+            assert pc >= min(achievable, _MIN_SPATIAL_CHUNK)
+        # An explicit spatial chunk is honored exactly (clipped to p).
+        if spatial_chunk > 0:
+            assert pc == min(p, spatial_chunk)
+        # Exact coverage: chunk stepping tiles the (m, p) grid.
+        covered_p = sum(
+            min(lo + pc, p) - lo for lo in range(0, p, pc)
+        )
+        covered_m = sum(
+            min(lo + mb, m) - lo for lo in range(0, m, mb)
+        )
+        assert covered_p == p
+        assert covered_m == m
+
+
+class TestExecutionPlans:
+    def test_heuristic_plan_valid_for_all_modes(self):
+        for mode in MODES:
+            plan = heuristic_plan(mode, 2, 3, 3, 3, 4, 100, 1)
+            assert ExecPlan.from_dict(plan.to_dict()) == plan
+
+    def test_heuristic_pbhw_uses_souter(self):
+        plan = heuristic_plan("pbhw", 8, 32, 5, 5, 32, 64, 1)
+        assert plan.layout == "s_outer"
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_explicit_plan_layouts_bit_identical(self, mode):
+        table, act_rows, cols, wp, wn = _kernel_operands(seed=3)
+        base = fused_conv_counts(
+            table, act_rows, cols, wp, wn, mode,
+            plan=ExecPlan(layout="k_inner", path="dense"),
+        )
+        for layout in ("auto", "s_outer"):
+            for path in ("dense", "sparse", "auto"):
+                got = fused_conv_counts(
+                    table, act_rows, cols, wp, wn, mode,
+                    plan=ExecPlan(layout=layout, path=path),
+                )
+                np.testing.assert_array_equal(got, base, err_msg=f"{layout}/{path}")
+
+    def test_apc_souter_falls_back_silently(self):
+        # APC's pair groups are not natural-order; an explicit s_outer
+        # plan must fall back to k_inner, not crash or mis-compute.
+        table, act_rows, cols, wp, wn = _kernel_operands(seed=5)
+        base = fused_conv_counts(table, act_rows, cols, wp, wn, "apc")
+        got = fused_conv_counts(
+            table, act_rows, cols, wp, wn, "apc",
+            plan=ExecPlan(layout="s_outer"),
+        )
+        np.testing.assert_array_equal(got, base)
+
+    def test_natural_order_predicate(self):
+        for mode, expected in (
+            ("sc", True), ("pbw", True), ("pbhw", True),
+            ("fxp", True), ("apc", False),
+        ):
+            group_k, _ = group_structure(mode, 3, 3, 3)
+            assert _natural_order(group_k, 27) is expected, mode
+
+    def test_tiny_chunks_with_souter_exact(self):
+        table, act_rows, cols, wp, wn = _kernel_operands(seed=7)
+        base = fused_conv_counts(table, act_rows, cols, wp, wn, "pbhw")
+        tiny = fused_conv_counts(
+            table, act_rows, cols, wp, wn, "pbhw",
+            plan=ExecPlan(
+                layout="s_outer", slab_bytes=1, spatial_chunk=3,
+                channel_block=1,
+            ),
+        )
+        np.testing.assert_array_equal(tiny, base)
+
+
+class TestOracleParity:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_fused_matches_oracle(self, mode):
+        operands = _kernel_operands(seed=11)
+        want = _oracle_counts(*operands, mode)
+        got = fused_conv_counts(*operands, mode)
+        np.testing.assert_array_equal(got, want)
+
+    def test_fxp_overlapping_polarities_match_oracle(self):
+        # wn offset 3 makes wp and wn simultaneously non-zero at most
+        # positions: the FXP signed-magnitude pass must expand those
+        # into explicit (+1, wp)/(-1, wn) entries, not fall back.
+        operands = _kernel_operands(seed=13, wn_offset=3)
+        np.testing.assert_array_equal(
+            fused_conv_counts(*operands, "fxp"),
+            _oracle_counts(*operands, "fxp"),
+        )
+
+    def test_fxp_disjoint_polarities_match_oracle(self):
+        # Split-unipolar weights: value 0 encodes the all-zero stream,
+        # so zeroing wn wherever wp is non-zero gives the disjoint fast
+        # path.
+        table, act_rows, cols, wp, wn = _kernel_operands(seed=17)
+        wn = wn.copy()
+        wn[wp.any(axis=-1)] = 0
+        operands = (table, act_rows, cols, wp, wn)
+        np.testing.assert_array_equal(
+            fused_conv_counts(*operands, "fxp"),
+            _oracle_counts(*operands, "fxp"),
+        )
+
+
+class _SparseDenseCase:
+    """Shared operand pool for the hypothesis density tests (built once:
+    stream-table construction dominates per-example cost otherwise)."""
+
+    _cache = None
+
+    @classmethod
+    def operands(cls):
+        if cls._cache is None:
+            cls._cache = _kernel_operands(
+                n=2, cin=2, cout=2, k=2, p=8, bits=4, length=16, seed=23
+            )
+        return cls._cache
+
+
+class TestSparseDenseIdentity:
+    @given(
+        mode=st.sampled_from(MODES),
+        density=st.floats(0.0, 1.0),
+        pattern_seed=st.integers(0, 2**16),
+        zero_chunk=st.sampled_from((None, "positions", "channels", "all")),
+        ones=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identity_under_density_patterns(
+        self, mode, density, pattern_seed, zero_chunk, ones
+    ):
+        table, act_rows, cols, wp, wn = _SparseDenseCase.operands()
+        rng = np.random.default_rng(pattern_seed)
+        cols = cols.copy()
+        if ones:
+            cols[:] = table.shape[1] - 1  # all-ones value chunk
+        cols[rng.random(cols.shape) < density] = 0
+        if zero_chunk == "positions":
+            cols[..., : cols.shape[-1] // 2] = 0  # all-zero spatial chunk
+        elif zero_chunk == "channels":
+            cols[:, 0] = 0  # one input channel entirely dead
+        elif zero_chunk == "all":
+            cols[:] = 0
+        dense = fused_conv_counts(
+            table, act_rows, cols, wp, wn, mode, plan=ExecPlan(path="dense")
+        )
+        sparse = fused_conv_counts(
+            table, act_rows, cols, wp, wn, mode, plan=ExecPlan(path="sparse")
+        )
+        auto = fused_conv_counts(table, act_rows, cols, wp, wn, mode)
+        np.testing.assert_array_equal(sparse, dense)
+        np.testing.assert_array_equal(auto, dense)
+
+    def test_sparsity_counters_exported(self):
+        from repro import obs
+
+        table, act_rows, cols, wp, wn = _kernel_operands(seed=29)
+        cols = cols.copy()
+        cols[..., ::2] = 0
+        obs.reset()
+        before = obs.get_registry().counters()
+        fused_conv_counts(
+            table, act_rows, cols, wp, wn, "fxp",
+            plan=ExecPlan(path="sparse"),
+        )
+        counters = obs.get_registry().counters()
+        if not obs.enabled():
+            pytest.skip("telemetry disabled in this environment")
+        nnz = counters.get("sc.kernels.nnz_words", 0)
+        skipped = counters.get("sc.kernels.skipped_words", 0)
+        assert nnz > before.get("sc.kernels.nnz_words", 0) or nnz > 0
+        assert skipped > 0
