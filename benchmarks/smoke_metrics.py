@@ -1,0 +1,174 @@
+"""CI smoke test: the live-observability surface end to end.
+
+Stands up the demo CNN-4 service on the supervised **process pool**,
+sends traced requests through the real HTTP client, and asserts the
+observability contract this repo ships:
+
+* ``GET /metrics`` serves valid Prometheus text exposition
+  (round-trips through :func:`repro.obs.parse_prometheus`) and carries
+  the serve-, batcher-, and backend-layer metric families plus the
+  rolling-window latency quantiles and SLO burn rates;
+* ``GET /tracez`` lists the request's trace;
+* a single request yields **one merged trace**: frontend, batcher
+  dispatch, and worker-process forward spans all share the request's
+  trace id, and the exported Chrome trace renders them as separate
+  process rows.
+
+The merged per-request trace is written under ``--artifacts DIR``
+(default ``artifacts/``) for the CI artifact upload.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/smoke_metrics.py [--artifacts DIR]
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs, serve
+from repro.models.cnn4 import cnn4_sc
+from repro.scnn.config import SCConfig
+
+IN_CHANNELS, INPUT_SIZE, STREAM_LENGTH = 1, 16, 64
+
+#: Families every scrape must expose, by owning layer.
+REQUIRED_FAMILIES = (
+    # service / frontend
+    "serve_requests_accepted_total",
+    "serve_requests_completed_total",
+    "serve_request_latency_ms_window",
+    "serve_slo_burn_rate",
+    "serve_slo_breaching",
+    # batcher
+    "serve_queue_depth",
+    "serve_batches_dispatched_total",
+    "serve_batch_latency_ms_window",
+    # process-pool backend
+    "serve_workers_spawned_total",
+    # telemetry self-reporting
+    "obs_dropped_spans_total",
+    "obs_dropped_profiles_total",
+)
+
+#: Spans one traced request must produce, across both processes.
+REQUIRED_SPANS = {"serve.request", "serve.dispatch", "worker.forward"}
+
+
+def _poll_trace(trace_id: str, timeout_s: float = 5.0) -> set:
+    """Span names of ``trace_id``, polled until the worker spans land
+    (they ship back after the request future resolves)."""
+    from repro.obs import trace
+
+    deadline = time.monotonic() + timeout_s
+    names: set = set()
+    while time.monotonic() < deadline:
+        names = {s["name"] for s in trace.collect_trace(trace_id)}
+        if REQUIRED_SPANS <= names:
+            break
+        time.sleep(0.02)
+    return names
+
+
+def run_smoke(artifacts_dir: str = "artifacts", requests: int = 4) -> dict:
+    from repro.obs import trace
+
+    cfg = SCConfig(
+        stream_length=STREAM_LENGTH, stream_length_pooling=STREAM_LENGTH
+    )
+    model = cnn4_sc(
+        cfg,
+        num_classes=10,
+        in_channels=IN_CHANNELS,
+        input_size=INPUT_SIZE,
+        width_mult=0.5,
+        seed=7,
+    )
+    registry = serve.ModelRegistry()
+    registry.register(
+        "cnn4", model, input_shape=(IN_CHANNELS, INPUT_SIZE, INPUT_SIZE)
+    )
+    backend = serve.ProcessPoolBackend(num_workers=2)
+    service = serve.InferenceService(registry, backend=backend).start()
+    # trace_sample=0: only explicitly traced requests, so the span
+    # assertions below are exact.
+    server = serve.make_server(service, port=0, trace_sample=0)
+    server.serve_background()
+    base = f"http://127.0.0.1:{server.port}"
+    print(f"metrics smoke server on {base} (process pool, 2 workers)")
+
+    client = serve.HTTPClient(base, trace_requests=True)
+    rng = np.random.default_rng(5)
+    x = rng.uniform(0, 1, size=(IN_CHANNELS, INPUT_SIZE, INPUT_SIZE))
+    for _ in range(requests):
+        result = client.predict("cnn4", x)
+        assert len(result["outputs"]) == 10, result
+    trace_id = client.last_trace_id
+    assert trace_id, "traced client must record its last trace id"
+
+    # --- /metrics: valid exposition, all layers present -------------
+    text = client.metrics()
+    families = obs.parse_prometheus(text)  # raises on malformed text
+    missing = [f for f in REQUIRED_FAMILIES if f not in families]
+    assert not missing, f"families missing from /metrics: {missing}"
+    quantiles = {
+        labels["quantile"]
+        for labels, _ in families["serve_request_latency_ms_window"]
+    }
+    assert quantiles == {"0.5", "0.95", "0.99"}, quantiles
+    burn_labels = {
+        (labels["sli"], labels["window"])
+        for labels, _ in families["serve_slo_burn_rate"]
+    }
+    assert burn_labels == {
+        ("latency", "short"), ("latency", "long"),
+        ("availability", "short"), ("availability", "long"),
+    }, burn_labels
+
+    # --- /tracez: the request's trace is listed ---------------------
+    tracez = client.tracez(limit=10)
+    listed = {t["trace_id"] for t in tracez["traces"]}
+    assert trace_id in listed, (trace_id, listed)
+
+    # --- merged cross-process trace ---------------------------------
+    names = _poll_trace(trace_id)
+    assert REQUIRED_SPANS <= names, f"trace {trace_id} spans: {names}"
+    spans = trace.collect_trace(trace_id)
+    processes = {s.get("process", "") for s in spans}
+    assert "" in processes and any(
+        p.startswith("worker-") for p in processes
+    ), processes
+
+    out_dir = Path(artifacts_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "request_merged.trace.json"
+    obs.write_request_trace(trace_path, trace_id)
+    doc = json.loads(trace_path.read_text())
+    assert doc["metadata"]["trace_id"] == trace_id
+    pids = {e["pid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+    assert len(pids) >= 2, f"expected frontend + worker rows, got {pids}"
+
+    server.shutdown()
+    service.stop()
+    print(
+        f"OK: {len(families)} metric families; trace {trace_id} has "
+        f"{len(spans)} spans across processes {sorted(processes)}; "
+        f"wrote {trace_path}"
+    )
+    return {"families": len(families), "trace_spans": len(spans)}
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", default="artifacts", metavar="DIR",
+        help="directory for the merged-trace artifact",
+    )
+    parser.add_argument("--requests", type=int, default=4)
+    cli_args = parser.parse_args()
+    run_smoke(artifacts_dir=cli_args.artifacts, requests=cli_args.requests)
+    sys.exit(0)

@@ -39,7 +39,7 @@ RUNNABLE = (
     "ablations", "ablations-training",
 )
 
-EXPERIMENTS = RUNNABLE + ("all", "serve", "lint")
+EXPERIMENTS = RUNNABLE + ("all", "serve", "top", "lint")
 
 
 def _run(name: str, scale: str, csv_dir: str | None = None) -> None:
@@ -91,6 +91,11 @@ def _run_serve(args) -> int:
 
     Serves a demo CNN-4 (or a ``--checkpoint`` saved with
     :func:`repro.nn.serialize.save_model`) over HTTP until interrupted.
+    With ``--profile PATH``, telemetry records for the server's lifetime
+    and shutdown writes ``PATH.jsonl`` + ``PATH.trace.json`` — the
+    Chrome trace *merged across processes*: worker-pool spans shipped
+    back per traced request render as separate process rows alongside
+    the frontend's.
     """
     import dataclasses
 
@@ -98,6 +103,8 @@ def _run_serve(args) -> int:
     from repro.models.cnn4 import cnn4_sc
     from repro.scnn.config import SCConfig
 
+    if args.profile:
+        obs.reset()  # profile this server's lifetime only
     registry = serve.ModelRegistry()
     if args.checkpoint:
         entry = registry.load(args.model, args.checkpoint)
@@ -121,7 +128,11 @@ def _run_serve(args) -> int:
         registry, policy=policy, backend=backend
     ).start()
     server = serve.make_server(
-        service, host=args.host, port=args.port, verbose=True
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=True,
+        trace_sample=args.trace_sample,
     )
     chaos_note = (
         f", chaos {args.chaos!r}" if chaos is not None and chaos.active else ""
@@ -131,7 +142,8 @@ def _run_serve(args) -> int:
         f"{len(entry.tiers)} tier(s), backend {backend.name!r}"
         f"{chaos_note}) on "
         f"http://{args.host}:{server.port} — POST /predict, "
-        "GET /healthz, GET /stats; Ctrl-C to stop"
+        "GET /healthz, GET /stats, GET /metrics, GET /tracez; "
+        "Ctrl-C to stop"
     )
     try:
         server.serve_forever()
@@ -140,7 +152,28 @@ def _run_serve(args) -> int:
     finally:
         server.shutdown()
         service.stop()
+        if args.profile:
+            jsonl, trace_path = obs.export_profile(args.profile)
+            print(obs.summary_tree())
+            print(f"wrote {jsonl} and {trace_path} (cross-process trace)")
     return 0
+
+
+def _run_top(args) -> int:
+    """``geo-repro top``: live dashboard over a serve /metrics endpoint."""
+    from repro.serve.top import run_top
+
+    url = args.url
+    if not url.startswith("http"):
+        url = f"http://{url}"
+    if not url.endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    return run_top(
+        url,
+        interval_s=args.interval,
+        iterations=1 if args.once else None,
+        plain=args.plain,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -216,6 +249,29 @@ def main(argv: list[str] | None = None) -> int:
         help="per-attempt batch execution timeout (0 disables; default "
         "uses the policy's 10s)",
     )
+    group.add_argument(
+        "--trace-sample", type=int, default=16,
+        help="trace every Nth headerless request (0 = only requests "
+        "carrying X-Repro-Trace are traced)",
+    )
+    top_group = parser.add_argument_group(
+        "top", "options for `geo-repro top` (live /metrics dashboard)"
+    )
+    top_group.add_argument(
+        "--url", default="127.0.0.1:8080",
+        help="serve frontend to watch (host:port or full /metrics URL)",
+    )
+    top_group.add_argument(
+        "--interval", type=float, default=1.0, help="poll period seconds"
+    )
+    top_group.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (smoke tests, cron)",
+    )
+    top_group.add_argument(
+        "--plain", action="store_true",
+        help="never use curses; print one frame per poll",
+    )
     lint_group = parser.add_argument_group(
         "lint", "options for `geo-repro lint` (the repro.analysis rules)"
     )
@@ -240,6 +296,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "serve":
         return _run_serve(args)
+
+    if args.experiment == "top":
+        return _run_top(args)
 
     if args.experiment == "lint":
         # Same runner and reporters as `python -m repro.analysis`.

@@ -1,4 +1,5 @@
-"""Lightweight always-on telemetry: spans, counters, gauges, profiles.
+"""Lightweight always-on telemetry: spans, counters, gauges, profiles,
+rolling windows, and request-scoped traces.
 
 Usage::
 
@@ -7,22 +8,37 @@ Usage::
     with obs.span("train.epoch", epoch=3):
         ...
     obs.counter("sc.kernels.bit_ops").add(n_bits)
+    obs.rolling("serve.latency_ms", window_s=60).observe(lat_ms)
     obs.add_profile({"kind": "layer_forward", ...})
 
     print(obs.summary_tree())
     obs.export_profile("out/run1")   # run1.jsonl + run1.trace.json
+    text = obs.render_prometheus()   # GET /metrics body
+
+Request tracing (cross-thread and cross-process)::
+
+    from repro.obs import trace
+
+    ctx = trace.new_trace()
+    with trace.scope(ctx):
+        with obs.span("serve.request"):   # stamped with ctx's trace id
+            ...
+    obs.write_request_trace("req.trace.json", ctx.trace_id)
 
 Set ``REPRO_OBS=0`` (or call :func:`set_enabled`) to disable: spans
 become a shared no-op, profiles are dropped, and instrumented hot paths
-skip their counter updates. See :mod:`repro.obs.core` for the contract.
+skip their counter updates. See :mod:`repro.obs.core` for the contract
+and :mod:`repro.obs.trace` for trace-context propagation.
 """
 
+from repro.obs import trace
 from repro.obs.core import (
     Counter,
     Gauge,
     Histogram,
     NOOP_SPAN,
     Registry,
+    RollingWindow,
     SpanRecord,
     add_profile,
     counter,
@@ -32,15 +48,19 @@ from repro.obs.core import (
     get_registry,
     histogram,
     reset,
+    rolling,
     set_enabled,
     span,
 )
 from repro.obs.export import (
     export_profile,
+    parse_prometheus,
     read_jsonl,
+    render_prometheus,
     summary_tree,
     write_chrome_trace,
     write_jsonl,
+    write_request_trace,
 )
 
 __all__ = [
@@ -49,6 +69,7 @@ __all__ = [
     "Histogram",
     "NOOP_SPAN",
     "Registry",
+    "RollingWindow",
     "SpanRecord",
     "add_profile",
     "counter",
@@ -58,11 +79,16 @@ __all__ = [
     "gauge",
     "get_registry",
     "histogram",
+    "parse_prometheus",
     "read_jsonl",
+    "render_prometheus",
     "reset",
+    "rolling",
     "set_enabled",
     "span",
     "summary_tree",
+    "trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_request_trace",
 ]

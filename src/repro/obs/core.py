@@ -28,6 +28,7 @@ runs the same ufunc sequence it would without telemetry.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time
@@ -39,6 +40,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Registry",
+    "RollingWindow",
     "SpanRecord",
     "add_profile",
     "counter",
@@ -48,6 +50,7 @@ __all__ = [
     "get_registry",
     "histogram",
     "reset",
+    "rolling",
     "set_enabled",
     "span",
 ]
@@ -254,6 +257,113 @@ class Histogram:
         return f"Histogram({self.name}: n={self._count})"
 
 
+#: Sample cap per rolling window; oldest samples fall off first so one
+#: hot metric cannot hold an unbounded deque.
+MAX_ROLLING_SAMPLES = 4096
+
+#: Default sliding-window width for rolling aggregates (seconds).
+DEFAULT_ROLLING_WINDOW_S = 60.0
+
+
+class RollingWindow:
+    """Sliding-time quantile aggregate: p50/p95/p99 over the last N seconds.
+
+    Cumulative histograms answer "since the process started"; live
+    dashboards and SLO math need "over the last minute". Samples are
+    ``(timestamp, value)`` pairs in a deque; anything older than
+    ``window_s`` (or beyond :data:`MAX_ROLLING_SAMPLES`) is pruned on
+    every observe/snapshot. Quantiles are exact nearest-rank over the
+    surviving samples. The clock is injectable so window expiry is
+    testable without sleeps.
+    """
+
+    __slots__ = ("name", "unit", "window_s", "maxlen", "clock",
+                 "_samples", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        window_s: float = DEFAULT_ROLLING_WINDOW_S,
+        unit: str = "value",
+        maxlen: int = MAX_ROLLING_SAMPLES,
+        clock=time.monotonic,
+    ):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.name = name
+        self.unit = unit
+        self.window_s = float(window_s)
+        self.maxlen = int(maxlen)
+        self.clock = clock
+        self._samples: list[tuple[float, float]] = []
+        self._lock = threading.Lock()  # guards: _samples
+
+    def _prune_locked(self, now: float) -> None:
+        horizon = now - self.window_s
+        samples = self._samples
+        drop = 0
+        for t, _ in samples:
+            if t >= horizon:
+                break
+            drop += 1
+        overflow = len(samples) - drop - self.maxlen
+        if overflow > 0:
+            drop += overflow
+        if drop:
+            del samples[:drop]
+
+    def observe(self, value: int | float, now: float | None = None) -> None:
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            self._samples.append((now, float(value)))
+            self._prune_locked(now)
+
+    @staticmethod
+    def _quantile(ordered: list[float], q: float) -> float:
+        rank = max(0, min(len(ordered) - 1,
+                          math.ceil(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """Windowed aggregates as plain data (count/mean/p50/p95/p99)."""
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            self._prune_locked(now)
+            values = [v for _, v in self._samples]
+        payload: dict = {
+            "unit": self.unit,
+            "window_s": self.window_s,
+            "count": len(values),
+        }
+        if not values:
+            payload.update(
+                {"mean": None, "min": None, "max": None,
+                 "p50": None, "p95": None, "p99": None}
+            )
+            return payload
+        values.sort()
+        payload.update(
+            {
+                "mean": sum(values) / len(values),
+                "min": values[0],
+                "max": values[-1],
+                "p50": self._quantile(values, 50),
+                "p95": self._quantile(values, 95),
+                "p99": self._quantile(values, 99),
+            }
+        )
+        return payload
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RollingWindow({self.name}: window={self.window_s}s)"
+
+
 @dataclass
 class SpanRecord:
     """One completed span."""
@@ -267,6 +377,7 @@ class SpanRecord:
     thread: str
     attrs: dict = field(default_factory=dict)
     error: str | None = None
+    process: str = ""  # "" = this process; workers label their spans
 
     def to_dict(self) -> dict:
         record = {
@@ -282,6 +393,8 @@ class SpanRecord:
             record["attrs"] = self.attrs
         if self.error is not None:
             record["error"] = self.error
+        if self.process:
+            record["process"] = self.process
         return record
 
 
@@ -335,6 +448,18 @@ class _Span:
             stack.pop()
         elif self in stack:  # pragma: no cover - defensive unwind
             stack.remove(self)
+        # Request-scoped tracing (repro.obs.trace): with a context
+        # active on this thread, the span joins that trace — attrs carry
+        # the trace id plus the propagated parent span id, which the
+        # cross-process merger uses as its join key.
+        attrs = self.attrs
+        ctx = self._registry.current_trace_context()
+        if ctx is not None:
+            attrs = {
+                **attrs,
+                "trace_id": ctx.trace_id,
+                "parent_span_id": ctx.span_id,
+            }
         self._registry._record_span(
             SpanRecord(
                 name=self.name,
@@ -344,7 +469,7 @@ class _Span:
                 cpu_s=self.cpu_s,
                 depth=self.depth,
                 thread=threading.current_thread().name,
-                attrs=self.attrs,
+                attrs=attrs,
                 error=None if exc_type is None else exc_type.__name__,
             )
         )
@@ -356,10 +481,11 @@ class Registry:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self._lock = threading.Lock()  # guards: spans, profiles, dropped_spans, dropped_profiles, _counters, _gauges, _histograms
+        self._lock = threading.Lock()  # guards: spans, profiles, dropped_spans, dropped_profiles, _counters, _gauges, _histograms, _rollings
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._rollings: dict[str, RollingWindow] = {}
         self.spans: list[SpanRecord] = []
         self.profiles: list[dict] = []
         self.dropped_spans = 0
@@ -389,6 +515,73 @@ class Registry:
                 self.dropped_spans += 1
             else:
                 self.spans.append(record)
+
+    # -- request tracing (driven by repro.obs.trace) -------------------------
+
+    def current_trace_context(self):
+        """The thread's active trace context, or ``None``.
+
+        The object is owned by :mod:`repro.obs.trace`; this module only
+        needs its ``trace_id`` / ``span_id`` attributes when stamping
+        span records, so there is no import cycle.
+        """
+        return getattr(self._local, "trace_ctx", None)
+
+    def set_trace_context(self, ctx) -> None:
+        """Install/clear (``None``) the thread's trace context."""
+        self._local.trace_ctx = ctx
+
+    def span_count(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+    def pop_spans_since(self, start: int) -> list[dict]:
+        """Remove and return (as dicts) every span recorded at index
+        ``start`` onward — how a pool worker ships one request's spans
+        back to the parent without growing its own registry forever."""
+        with self._lock:
+            taken = [s.to_dict() for s in self.spans[start:]]
+            del self.spans[start:]
+        return taken
+
+    def ingest_spans(
+        self,
+        records: list[dict],
+        process: str,
+        epoch_wall: float | None = None,
+    ) -> int:
+        """Merge span dicts exported by *another* process's registry.
+
+        ``epoch_wall`` is the remote registry's wall-clock epoch; remote
+        ``start_s`` offsets are rebased onto this registry's epoch so
+        merged spans share one timeline (same-host wall clocks, so skew
+        is bounded by clock resolution, not NTP drift). Returns the
+        number of spans actually ingested (the :data:`MAX_SPANS` cap
+        still applies; overflow counts as dropped).
+        """
+        shift = 0.0 if epoch_wall is None else epoch_wall - self.epoch_wall
+        ingested = 0
+        with self._lock:
+            for record in records:
+                if len(self.spans) >= MAX_SPANS:
+                    self.dropped_spans += len(records) - ingested
+                    break
+                self.spans.append(
+                    SpanRecord(
+                        name=record["name"],
+                        path=record["path"],
+                        start_s=record["start_s"] + shift,
+                        wall_s=record["wall_s"],
+                        cpu_s=record["cpu_s"],
+                        depth=record["depth"],
+                        thread=record["thread"],
+                        attrs=dict(record.get("attrs", {})),
+                        error=record.get("error"),
+                        process=process,
+                    )
+                )
+                ingested += 1
+        return ingested
 
     # -- counters / gauges ---------------------------------------------------
 
@@ -424,6 +617,26 @@ class Registry:
         with self._lock:
             items = list(self._histograms.items())
         return {name: h.to_dict() for name, h in items}
+
+    def rolling(
+        self,
+        name: str,
+        window_s: float = DEFAULT_ROLLING_WINDOW_S,
+        unit: str = "value",
+    ) -> RollingWindow:
+        """Get-or-create a live rolling window (live even when disabled)."""
+        with self._lock:
+            r = self._rollings.get(name)
+            if r is None:
+                r = self._rollings[name] = RollingWindow(
+                    name, window_s=window_s, unit=unit
+                )
+            return r
+
+    def rollings(self) -> dict[str, dict]:
+        with self._lock:
+            items = list(self._rollings.items())
+        return {name: r.snapshot() for name, r in items}
 
     def counters(self) -> dict[str, int | float]:
         """Plain ``name -> value`` snapshot of every counter."""
@@ -463,12 +676,15 @@ class Registry:
             counters = list(self._counters.values())
             gauges = list(self._gauges.values())
             histograms = list(self._histograms.values())
+            rollings = list(self._rollings.values())
         for c in counters:
             c.reset()
         for g in gauges:
             g.reset()
         for h in histograms:
             h.reset()
+        for r in rollings:
+            r.reset()
         self.epoch_perf = time.perf_counter()
         self.epoch_wall = time.time()
 
@@ -490,6 +706,7 @@ class Registry:
             },
             "gauges": self.gauges(),
             "histograms": self.histograms(),
+            "rollings": self.rollings(),
             "spans": spans,
             "profiles": profiles,
         }
@@ -542,6 +759,14 @@ def histogram(
     unit: str = "count",
 ) -> Histogram:
     return _REGISTRY.histogram(name, bounds, unit)
+
+
+def rolling(
+    name: str,
+    window_s: float = DEFAULT_ROLLING_WINDOW_S,
+    unit: str = "value",
+) -> RollingWindow:
+    return _REGISTRY.rolling(name, window_s, unit)
 
 
 def add_profile(record: dict) -> None:

@@ -50,6 +50,7 @@ from repro.serve.registry import (
 )
 from repro.serve.server import ServeHTTPServer, make_server
 from repro.serve.service import InferenceService, PredictResult
+from repro.serve.slo import SLOPolicy, SLOTracker
 
 __all__ = [
     "MIN_TIER_LENGTH",
@@ -68,6 +69,8 @@ __all__ = [
     "PendingRequest",
     "PredictResult",
     "ProcessPoolBackend",
+    "SLOPolicy",
+    "SLOTracker",
     "ServeHTTPServer",
     "ServePolicy",
     "make_backend",

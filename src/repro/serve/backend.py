@@ -43,6 +43,7 @@ import time
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.errors import (
     ConfigurationError,
     ResultCorruptionError,
@@ -184,6 +185,15 @@ def _worker_main(conn, worker_id: int, chaos_payload: dict | None) -> None:
       model (pickled by the parent) plus its stream-length tier ladder;
     * ``("run", name, tier, batch)`` → ``("ok", logits, tier)`` or
       ``("error", exception)`` — flip to the tier, forward, answer;
+    * ``("run", name, tier, batch, trace_payload)`` — the traced
+      variant: the forward runs under the shipped
+      :class:`~repro.obs.trace.TraceContext` and the reply becomes
+      ``("ok", logits, tier, {"spans": [...], "epoch_wall": t})``,
+      carrying this request's worker-side span records (plus this
+      registry's wall-clock epoch so the parent can rebase their
+      timeline) for the parent to merge into its trace. Untraced
+      requests keep the 3-tuple wire format — tracing costs nothing
+      when off;
     * ``("ping", n)`` → ``("pong", n)`` — supervisor heartbeat;
     * ``("stop",)`` / EOF — exit cleanly.
 
@@ -223,7 +233,8 @@ def _worker_main(conn, worker_id: int, chaos_payload: dict | None) -> None:
         if kind != "run":  # pragma: no cover - protocol guard
             conn.send(("error", ServeError(f"unknown message {kind!r}")))
             continue
-        _, name, tier, batch = message
+        _, name, tier, batch = message[:4]
+        trace_payload = message[4] if len(message) > 4 else None
         task_index += 1
         action = chaos.decide(worker_id, task_index) if chaos else "none"
         if action == "crash":
@@ -238,15 +249,41 @@ def _worker_main(conn, worker_id: int, chaos_payload: dict | None) -> None:
             continue
         model, tiers, current_tier = state
         try:
-            if tier != current_tier and tiers[tier]:
-                set_stream_lengths(model, **tiers[tier])
-            state[2] = tier
-            with no_grad():
-                out = model(Tensor(np.ascontiguousarray(batch)))
+            ctx = (
+                trace.TraceContext.from_dict(trace_payload)
+                if trace_payload
+                else None
+            )
+            registry = obs.get_registry()
+            span_start = registry.span_count()
+            with trace.scope(ctx), obs.span(
+                "worker.forward",
+                model=name,
+                tier=tier,
+                batch=int(batch.shape[0]),
+                worker=worker_id,
+            ):
+                if tier != current_tier and tiers[tier]:
+                    set_stream_lengths(model, **tiers[tier])
+                state[2] = tier
+                with no_grad():
+                    out = model(Tensor(np.ascontiguousarray(batch)))
             logits = out.data
             if action == "corrupt":
                 logits = np.full_like(logits, np.nan)
-            conn.send(("ok", logits, tier))
+            # Pop unconditionally: shipped spans free their registry
+            # slots, and discarding untraced ones keeps a long-lived
+            # worker from creeping to MAX_SPANS and silently dropping
+            # the spans a *traced* request needs.
+            shipped = registry.pop_spans_since(span_start)
+            if ctx is not None:
+                extra = {
+                    "spans": shipped,
+                    "epoch_wall": registry.epoch_wall,
+                }
+                conn.send(("ok", logits, tier, extra))
+            else:
+                conn.send(("ok", logits, tier))
         except Exception as error:  # noqa: BLE001 - shipped to the parent
             try:
                 conn.send(("error", error))
@@ -695,12 +732,22 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> tuple[np.ndarray, int]:
         handle = self._acquire()
         healthy = False
+        # The trace hop: ship the active context's child over the pipe
+        # so worker-side spans join this request's trace; the reply then
+        # carries them back for the parent registry to merge.
+        ctx = trace.current()
+        hop = ctx.child() if ctx is not None else None
         try:
             if entry.name not in handle.loaded:
                 self._load_into(handle, entry)
             with self._cond:
                 self._known_models.setdefault(entry.name, entry)
-            handle.conn.send(("run", entry.name, tier, batch))
+            if hop is not None:
+                handle.conn.send(
+                    ("run", entry.name, tier, batch, hop.to_dict())
+                )
+            else:
+                handle.conn.send(("run", entry.name, tier, batch))
             reply = self._recv(handle, timeout_s)
             kind = reply[0]
             if kind == "error":
@@ -718,6 +765,13 @@ class ProcessPoolBackend(ExecutionBackend):
             handle.tasks += 1
             with self._cond:
                 self.counters["tasks"] += 1
+            if len(reply) > 3 and reply[3]:
+                extra = reply[3]
+                obs.get_registry().ingest_spans(
+                    extra["spans"],
+                    process=f"worker-{handle.id}",
+                    epoch_wall=extra.get("epoch_wall"),
+                )
             return logits, reply[2]
         finally:
             self._release(handle, healthy)

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.obs.trace import TraceContext
 
 _REQUEST_IDS = itertools.count()
 
@@ -45,6 +46,7 @@ class PendingRequest:
     deadline_at: float | None  # absolute clock time, None = no deadline
     future: Future = field(default_factory=Future)
     id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+    trace: TraceContext | None = None  # request's trace identity, if traced
 
     def expired(self, now: float) -> bool:
         return self.deadline_at is not None and now >= self.deadline_at

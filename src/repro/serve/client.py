@@ -20,6 +20,14 @@ an optional :class:`~repro.utils.retry.RetryPolicy`; with one set,
 backpressure rejections are retried transparently with that hint as the
 backoff floor — the caller only ever sees the error once the policy is
 exhausted.
+
+With ``trace_requests=True``, :class:`HTTPClient` stamps each predict
+with an ``X-Repro-Trace`` header — continuing the calling thread's
+active :class:`~repro.obs.trace.TraceContext` at a child hop when one
+is installed, else starting a fresh trace — and remembers the last
+trace id (``client.last_trace_id``) so callers can fetch the merged
+trace afterwards (``/tracez``, or
+:func:`repro.obs.export.write_request_trace` server-side).
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.errors import (
     ServeError,
     UnknownModelError,
 )
+from repro.obs import trace
 from repro.serve.service import InferenceService, PredictResult
 from repro.utils.retry import RetryPolicy, call_with_retry
 
@@ -125,18 +134,33 @@ class HTTPClient:
         base_url: str,
         timeout_s: float = 30.0,
         retry: RetryPolicy | None = None,
+        trace_requests: bool = False,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.retry = retry
+        self.trace_requests = trace_requests
+        #: Trace id of the most recent traced predict (None before one).
+        self.last_trace_id: str | None = None
+
+    def _trace_header(self) -> dict[str, str]:
+        if not self.trace_requests:
+            return {}
+        active = trace.current()
+        ctx = active.child() if active is not None else trace.new_trace()
+        self.last_trace_id = ctx.trace_id
+        return {trace.TRACE_HEADER: ctx.to_header()}
 
     def _request_once(self, path: str, payload: dict | None) -> dict | list:
         url = f"{self.base_url}{path}"
         data = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"}
+        if payload is not None:  # only predicts are traced
+            headers.update(self._trace_header())
         request = urllib.request.Request(
             url,
             data=data,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method="GET" if payload is None else "POST",
         )
         try:
@@ -181,3 +205,19 @@ class HTTPClient:
 
     def healthz(self) -> dict:
         return self._request("/healthz")
+
+    def tracez(self, limit: int = 10) -> dict:
+        return self._request(f"/tracez?limit={int(limit)}")
+
+    def metrics(self) -> str:
+        """The raw ``/metrics`` Prometheus text (not JSON)."""
+        request = urllib.request.Request(f"{self.base_url}/metrics")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as r:
+                return r.read().decode()
+        except urllib.error.URLError as err:
+            raise ServeError(
+                f"cannot reach {self.base_url}/metrics: {err.reason}"
+            ) from None

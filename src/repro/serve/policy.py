@@ -9,7 +9,7 @@ halves the bit-ops per MAC — so under overload the service sheds
 *precision* before it sheds *requests*, and every degraded response is
 flagged with the tier it was computed at.
 
-Two overload signals feed the controller:
+Three overload signals feed the controller:
 
 * **queue depth** — the classic watermark pair
   (``degrade_high_watermark`` / ``degrade_low_watermark``);
@@ -17,17 +17,25 @@ Two overload signals feed the controller:
   batch execution times (``degrade_latency_p95_ms``). Queue depth is a
   *leading* indicator that only fires once requests pile up; latency is
   the *direct* SLO signal and catches slowdowns that never build a deep
-  queue (e.g. a degraded worker pool serving a steady trickle).
+  queue (e.g. a degraded worker pool serving a steady trickle);
+* **SLO burn rate** — the multi-window error-budget burn from
+  :class:`~repro.serve.slo.SLOTracker`. Depth and p95 are *mechanism*
+  signals; burn is the *objective* signal — it fires when the service is
+  actually missing its promises (late or failed answers), whatever the
+  mechanism, and it only fires when both the short and long windows
+  agree, so it is the least flappy of the three.
 
 Hysteresis rules (classic watermark + cooldown):
 
 * overloaded (depth ``>=`` high watermark **or** windowed p95 ``>=``
-  latency watermark) → step one tier *down* (shorter streams), at most
-  once per ``cooldown_s``;
+  latency watermark **or** burn ``>=`` the SLO's fast-burn threshold)
+  → step one tier *down* (shorter streams), at most once per
+  ``cooldown_s``;
 * recovered (depth ``<=`` low watermark **and** p95 back under
-  ``latency_recovery_ratio`` × the latency watermark) → step one tier
-  *up*, also cooldown-gated, so a brief dip doesn't flap the service
-  back into the slow configuration it just escaped.
+  ``latency_recovery_ratio`` × the latency watermark **and** burn back
+  within budget, ``<= 1.0``) → step one tier *up*, also cooldown-gated,
+  so a brief dip doesn't flap the service back into the slow
+  configuration it just escaped.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.errors import ConfigurationError
 from repro.serve.breaker import BreakerPolicy
+from repro.serve.slo import SLOPolicy
 from repro.utils.retry import RetryPolicy
 
 #: Minimum windowed-latency samples before the p95 signal is trusted;
@@ -68,6 +77,9 @@ class ServePolicy:
     batch_timeout_s: float | None = 10.0  # per-attempt execution timeout
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    # -- service-level objectives --------------------------------------------
+    slo: SLOPolicy | None = field(default_factory=SLOPolicy)  # None = untracked
+    degrade_on_slo_burn: bool = True  # feed burn rate into the controller
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -156,8 +168,25 @@ class DegradeController:
 
     # -- decision ------------------------------------------------------------
 
-    def _overloaded(self, depth: int, p95_ms: float | None) -> bool:
+    def _burn_threshold(self) -> float | None:
+        if not self.policy.degrade_on_slo_burn or self.policy.slo is None:
+            return None
+        return self.policy.slo.fast_burn_threshold
+
+    def _overloaded(
+        self,
+        depth: int,
+        p95_ms: float | None,
+        burn_rate: float | None = None,
+    ) -> bool:
         if depth >= self.policy.degrade_high_watermark:
+            return True
+        burn_threshold = self._burn_threshold()
+        if (
+            burn_threshold is not None
+            and burn_rate is not None
+            and burn_rate >= burn_threshold
+        ):
             return True
         threshold = self.policy.degrade_latency_p95_ms
         return (
@@ -166,8 +195,19 @@ class DegradeController:
             and p95_ms >= threshold
         )
 
-    def _recovered(self, depth: int, p95_ms: float | None) -> bool:
+    def _recovered(
+        self,
+        depth: int,
+        p95_ms: float | None,
+        burn_rate: float | None = None,
+    ) -> bool:
         if depth > self.policy.degrade_low_watermark:
+            return False
+        if (
+            self._burn_threshold() is not None
+            and burn_rate is not None
+            and burn_rate > 1.0  # still spending budget faster than earned
+        ):
             return False
         threshold = self.policy.degrade_latency_p95_ms
         if threshold is None or p95_ms is None:
@@ -179,12 +219,14 @@ class DegradeController:
         depth: int,
         now: float | None = None,
         p95_ms: float | None = None,
+        burn_rate: float | None = None,
     ) -> int:
         """Update and return the target tier for one load sample.
 
         ``p95_ms`` defaults to the controller's own sliding-window p95;
         tests (and callers with an external latency source) may pass it
-        explicitly.
+        explicitly. ``burn_rate`` is the SLO tracker's multi-window burn
+        (``None`` when untracked — the signal simply doesn't vote).
         """
         if now is None:
             now = self.clock()
@@ -198,12 +240,17 @@ class DegradeController:
         )
         if in_cooldown:
             return self.tier
-        if self._overloaded(depth, p95_ms) and self.tier < self.max_tier:
+        if (
+            self._overloaded(depth, p95_ms, burn_rate)
+            and self.tier < self.max_tier
+        ):
             self.tier += 1
             self._last_change = now
             self.transitions += 1
             obs.counter("serve.degrade_transitions").add(1)
-        elif self._recovered(depth, p95_ms) and self.tier > 0:
+        elif (
+            self._recovered(depth, p95_ms, burn_rate) and self.tier > 0
+        ):
             self.tier -= 1
             self._last_change = now
             self.transitions += 1

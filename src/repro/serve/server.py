@@ -8,6 +8,19 @@ Endpoints (JSON in, JSON out):
   of them (see :meth:`PredictResult.to_dict`).
 * ``GET /healthz`` — liveness plus registered model names.
 * ``GET /stats`` — the full :meth:`InferenceService.stats` payload.
+* ``GET /metrics`` — Prometheus text exposition (v0.0.4) of the global
+  obs registry (counters, gauges, histograms, rolling-window
+  quantiles) plus the service's per-model SLO burn rates.
+* ``GET /tracez`` — the most recent sampled traces as JSON
+  (``?limit=N`` caps the count, default 10).
+
+Tracing: a ``POST /predict`` carrying ``X-Repro-Trace`` joins the
+caller's trace (the handler runs the request under a child context and
+echoes the header back); without the header, every ``trace_sample``-th
+request starts a fresh trace so ``/tracez`` stays populated under
+steady traffic at bounded overhead. The per-request ``serve.request``
+root span is only recorded for traced requests — an untraced request
+touches none of the span machinery.
 
 Errors map onto status codes the way a client expects to branch on
 them: 400 malformed request / bad shape, 404 unknown model, 429 queue
@@ -24,13 +37,16 @@ stateless.
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro import obs
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -39,7 +55,14 @@ from repro.errors import (
     ShapeError,
     UnknownModelError,
 )
+from repro.obs import trace
+from repro.obs.export import render_prometheus
 from repro.serve.service import InferenceService
+from repro.serve.slo import slo_families
+
+#: Default trace sampling: without a client-sent header, one request in
+#: this many starts a fresh trace (0 disables ambient sampling).
+DEFAULT_TRACE_SAMPLE = 16
 
 _STATUS_FOR = (
     (UnknownModelError, 404),
@@ -79,10 +102,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        echo = getattr(self, "_trace_echo", None)
+        if echo:  # traced request: hand the ids back to the caller
+            self.send_header(trace.TRACE_HEADER, echo)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _send_error_json(self, status: int, error: Exception) -> None:
         headers = None
@@ -104,14 +138,46 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802 - stdlib casing
         service = self.server.service
-        if self.path == "/healthz":
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/healthz":
             self._send_json(
                 200, {"status": "ok", "models": service.registry.names()}
             )
-        elif self.path == "/stats":
+        elif parsed.path == "/stats":
             self._send_json(200, service.stats())
+        elif parsed.path == "/metrics":
+            body = render_prometheus(
+                extra_families=slo_families(service.slo_snapshots())
+            )
+            self._send_text(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif parsed.path == "/tracez":
+            query = urllib.parse.parse_qs(parsed.query)
+            try:
+                limit = int(query.get("limit", ["10"])[0])
+            except ValueError:
+                limit = 10
+            self._send_json(
+                200, {"traces": trace.recent_traces(limit=limit)}
+            )
         else:
             self._send_json(404, {"error": "NotFound", "detail": self.path})
+
+    def _request_trace(self) -> "trace.TraceContext | None":
+        """The context this request runs under: the client's (continued
+        at a child hop) when the header is present, a fresh ambient
+        sample every ``trace_sample``-th headerless request, else
+        ``None`` (untraced)."""
+        from_header = trace.TraceContext.from_header(
+            self.headers.get(trace.TRACE_HEADER)
+        )
+        if from_header is not None:
+            return from_header.child()
+        sample = self.server.trace_sample
+        if sample and next(self.server.request_seq) % sample == 0:
+            return trace.new_trace()
+        return None
 
     def do_POST(self):  # noqa: N802 - stdlib casing
         if self.path != "/predict":
@@ -128,21 +194,37 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, err)
             return
         service = self.server.service
+        ctx = self._request_trace()
+        self._trace_echo = ctx.to_header() if ctx is not None else None
         try:
             entry = service.registry.get(model)
-            if inputs.shape == entry.input_shape:
-                result = service.predict(model, inputs, deadline_s)
-                self._send_json(200, result.to_dict())
-            elif inputs.shape[1:] == entry.input_shape:
-                results = service.predict_many(model, inputs, deadline_s)
-                self._send_json(200, [r.to_dict() for r in results])
+            if ctx is None:
+                self._predict(service, entry, model, inputs, deadline_s)
             else:
-                raise ShapeError(
-                    f"inputs shape {inputs.shape} matches neither sample "
-                    f"shape {entry.input_shape} nor a batch of it"
+                samples = (
+                    1
+                    if inputs.shape == entry.input_shape
+                    else int(inputs.shape[0]) if inputs.ndim else 0
                 )
+                with trace.scope(ctx), obs.span(
+                    "serve.request", model=model, samples=samples
+                ):
+                    self._predict(service, entry, model, inputs, deadline_s)
         except ReproError as err:
             self._send_error_json(_status_for(err), err)
+
+    def _predict(self, service, entry, model, inputs, deadline_s) -> None:
+        if inputs.shape == entry.input_shape:
+            result = service.predict(model, inputs, deadline_s)
+            self._send_json(200, result.to_dict())
+        elif inputs.shape[1:] == entry.input_shape:
+            results = service.predict_many(model, inputs, deadline_s)
+            self._send_json(200, [r.to_dict() for r in results])
+        else:
+            raise ShapeError(
+                f"inputs shape {inputs.shape} matches neither sample "
+                f"shape {entry.input_shape} nor a batch of it"
+            )
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -150,10 +232,20 @@ class ServeHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, service: InferenceService, verbose=False):
+    def __init__(
+        self,
+        address,
+        service: InferenceService,
+        verbose=False,
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
+    ):
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.trace_sample = trace_sample
+        #: Headerless-request counter driving ambient trace sampling
+        #: (itertools.count is atomic under CPython — no lock needed).
+        self.request_seq = itertools.count()
 
     @property
     def port(self) -> int:
@@ -173,6 +265,9 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    trace_sample: int = DEFAULT_TRACE_SAMPLE,
 ) -> ServeHTTPServer:
     """Bind (``port=0`` picks a free one); caller starts/stops it."""
-    return ServeHTTPServer((host, port), service, verbose=verbose)
+    return ServeHTTPServer(
+        (host, port), service, verbose=verbose, trace_sample=trace_sample
+    )

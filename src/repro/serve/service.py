@@ -24,10 +24,27 @@ acceptance test checks end to end::
 
 Instrumentation (:mod:`repro.obs`): ``serve.queue_depth`` gauge,
 ``serve.batch_size`` / ``serve.batch_latency_ms`` /
-``serve.request_latency_ms`` histograms, per-stage spans
-(``serve.dispatch`` / ``serve.model_forward``), and counters for
-accepted / rejected / expired / completed / failed / late / retried /
-circuit-open rejections.
+``serve.request_latency_ms`` histograms plus rolling-window quantiles of
+both latencies, per-stage spans (``serve.dispatch`` /
+``serve.model_forward``), and counters for accepted / rejected /
+expired / completed / failed / late / retried / circuit-open
+rejections.
+
+Tracing: a request admitted under an active
+:class:`~repro.obs.trace.TraceContext` (the HTTP frontend installs one
+per sampled request) carries it on the
+:class:`~repro.serve.batcher.PendingRequest`; the dispatcher re-enters
+the first traced member's context for the batch — so ``serve.dispatch``
+and everything under it (including worker-side spans shipped back over
+the pipe) joins that request's trace — and stamps the span with the
+full ``trace_ids`` list so a batch appears in *every* member's merged
+trace.
+
+SLOs: when ``policy.slo`` is set, every finished request feeds a
+per-model :class:`~repro.serve.slo.SLOTracker` (completed = available,
+completed within the latency objective = good), and the tracker's
+multi-window burn rate joins queue depth and batch p95 as a degrade
+signal.
 """
 
 from __future__ import annotations
@@ -49,12 +66,14 @@ from repro.errors import (
     WorkerCrashError,
     WorkerTimeoutError,
 )
+from repro.obs import trace
 from repro.obs.core import Counter, Histogram
 from repro.serve.backend import ExecutionBackend, InThreadBackend
 from repro.serve.batcher import MicroBatcher, PendingRequest
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.policy import DegradeController, ServePolicy
 from repro.serve.registry import ModelEntry, ModelRegistry
+from repro.serve.slo import SLOTracker
 from repro.utils import parallel
 from repro.utils.parallel import resolve_workers
 from repro.utils.retry import call_with_retry
@@ -172,7 +191,8 @@ class InferenceService:
         # coalescing sees it, and expiry still applies — instead of
         # piling up invisibly behind the pool.
         self._inflight_slots = threading.Semaphore(self._dispatch_parallelism)
-        self._state_lock = threading.Lock()  # guards: _in_flight, _breakers, _controllers
+        self._state_lock = threading.Lock()  # guards: _in_flight, _breakers, _controllers, _slo_trackers
+        self._slo_trackers: dict[str, SLOTracker] = {}
         self._stop = threading.Event()
         self._dispatcher: threading.Thread | None = None
         self._accepted = _Stat("serve.requests_accepted")
@@ -191,6 +211,15 @@ class InferenceService:
         )
         self._batch_latency_hist = _StatHistogram(
             "serve.batch_latency_ms", bounds=_LATENCY_BUCKETS, unit="ms"
+        )
+        # Rolling-window quantiles back the live /metrics view: the
+        # histograms above are cumulative since start, these answer
+        # "what is p99 *right now*" over the last minute.
+        self._latency_rolling = obs.rolling(
+            "serve.request_latency_ms", unit="ms"
+        )
+        self._batch_latency_rolling = obs.rolling(
+            "serve.batch_latency_ms", unit="ms"
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -265,6 +294,7 @@ class InferenceService:
             x=sample,
             enqueued_at=now,
             deadline_at=None if deadline_s is None else now + deadline_s,
+            trace=trace.current(),  # carried across the dispatch hop
         )
         if not self.batcher.offer(request):
             breaker.refund()  # the admitted probe never ran
@@ -320,6 +350,25 @@ class InferenceService:
                 self._breakers[name] = breaker
             return breaker
 
+    def _slo(self, name: str) -> SLOTracker | None:
+        if self.policy.slo is None:
+            return None
+        with self._state_lock:
+            tracker = self._slo_trackers.get(name)
+            if tracker is None:
+                tracker = SLOTracker(
+                    name, self.policy.slo, clock=self.clock
+                )
+                self._slo_trackers[name] = tracker
+            return tracker
+
+    def _record_outcome(
+        self, model: str, latency_ms: float, ok: bool
+    ) -> None:
+        tracker = self._slo(model)
+        if tracker is not None:
+            tracker.record(latency_ms, ok)
+
     def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
             if not self._inflight_slots.acquire(timeout=0.05):
@@ -347,6 +396,7 @@ class InferenceService:
             self._expired.add(1)
             if at_dequeue:
                 self._deadline_expired.add(1)
+            self._record_outcome(request.model, 0.0, ok=False)
             request.future.set_exception(
                 DeadlineExceededError(
                     "deadline elapsed after "
@@ -396,11 +446,29 @@ class InferenceService:
             if not live:
                 return
             controller = self._controller(entry)
-            target = controller.observe(self.batcher.depth())
+            slo = self._slo(entry.name)
+            target = controller.observe(
+                self.batcher.depth(),
+                burn_rate=None if slo is None else slo.burn_rate(),
+            )
             self._batches.add(1)
             self._batch_hist.observe(len(live))
-            with obs.span(
-                "serve.dispatch", model=entry.name, batch=len(live)
+            # A batch joins the trace of every traced member: it runs
+            # under the first one's child context (so spans below —
+            # including worker-side spans shipped back over the pipe —
+            # share its trace id) and the dispatch span lists all of
+            # them, so the merger finds the batch from any member.
+            traced = [r.trace for r in live if r.trace is not None]
+            batch_ctx = traced[0].child() if traced else None
+            with trace.scope(batch_ctx), obs.span(
+                "serve.dispatch",
+                model=entry.name,
+                batch=len(live),
+                **(
+                    {"trace_ids": [t.trace_id for t in traced]}
+                    if traced
+                    else {}
+                ),
             ):
                 stacked = np.stack([r.x for r in live])
                 started = self.clock()
@@ -408,6 +476,7 @@ class InferenceService:
                 batch_ms = (self.clock() - started) * 1e3
                 controller.note_latency(batch_ms)
                 self._batch_latency_hist.observe(batch_ms)
+                self._batch_latency_rolling.observe(batch_ms)
                 breaker.record_success()
                 now = self.clock()
                 for i, request in enumerate(live):
@@ -420,6 +489,10 @@ class InferenceService:
                         self._late.add(1)
                     self._completed.add(1)
                     self._latency_hist.observe(latency * 1e3)
+                    self._latency_rolling.observe(latency * 1e3)
+                    self._record_outcome(
+                        request.model, latency * 1e3, ok=True
+                    )
                     request.future.set_result(
                         PredictResult(
                             model=entry.name,
@@ -435,6 +508,7 @@ class InferenceService:
             for request in batch:
                 if not request.future.done():
                     self._failed.add(1)
+                    self._record_outcome(request.model, 0.0, ok=False)
                     request.future.set_exception(error)
         finally:
             with self._state_lock:
@@ -453,6 +527,7 @@ class InferenceService:
         with self._state_lock:
             in_flight = self._in_flight
             breakers = dict(self._breakers)
+            slo_trackers = dict(self._slo_trackers)
         queued = self.batcher.depth()
         accepted = self._accepted.value
         completed = self._completed.value
@@ -501,8 +576,21 @@ class InferenceService:
                     for name, breaker in breakers.items()
                 },
             },
+            "slo": {
+                name: tracker.snapshot()
+                for name, tracker in sorted(slo_trackers.items())
+            },
             "accounting": {
                 "balanced": accepted
                 == completed + expired + failed + in_flight + queued,
             },
         }
+
+    def slo_snapshots(self) -> list[dict]:
+        """Per-model SLO snapshots (the ``/metrics`` exporter's input)."""
+        with self._state_lock:
+            trackers = [
+                tracker
+                for _, tracker in sorted(self._slo_trackers.items())
+            ]
+        return [tracker.snapshot() for tracker in trackers]

@@ -1,0 +1,237 @@
+"""``geo-repro top``: a live terminal dashboard over ``GET /metrics``.
+
+Polls a serve frontend's Prometheus endpoint and renders the numbers an
+operator watches during an incident: request throughput (rates computed
+from counter deltas between polls), live rolling-window latency
+quantiles, queue depth, SLO burn rates per model, worker-pool health,
+and telemetry drops. Rendering is a pure function from two successive
+scrapes to a string, so the dashboard is unit-testable without a
+server, a terminal, or sleeps.
+
+Stdlib only. With ``curses`` importable and stdout a TTY the screen
+repaints in place; otherwise (pipes, CI, platforms without curses) it
+falls back to printing a frame per poll. ``--once`` renders a single
+frame and exits — handy for smoke tests and cron checks.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServeError
+from repro.obs.export import parse_prometheus
+
+__all__ = ["fetch_metrics", "render_frame", "run_top"]
+
+#: (family, label) rows in the "throughput" section, in display order.
+_RATE_ROWS = (
+    ("serve_requests_accepted_total", "accepted"),
+    ("serve_requests_completed_total", "completed"),
+    ("serve_requests_rejected_queue_full_total", "rejected (queue)"),
+    ("serve_requests_rejected_circuit_open_total", "rejected (breaker)"),
+    ("serve_requests_expired_total", "expired"),
+    ("serve_requests_failed_total", "failed"),
+    ("serve_batches_dispatched_total", "batches"),
+)
+
+
+def fetch_metrics(url: str, timeout_s: float = 5.0) -> dict:
+    """Scrape and parse one ``/metrics`` exposition into families."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            text = response.read().decode()
+    except (urllib.error.URLError, OSError) as err:
+        raise ServeError(f"cannot scrape {url}: {err}") from None
+    return parse_prometheus(text)
+
+
+def _value(families: dict, name: str, labels: dict | None = None) -> float | None:
+    """First sample of ``name`` (matching ``labels`` when given)."""
+    for sample_labels, value in families.get(name, ()):
+        if labels is None or all(
+            (sample_labels or {}).get(k) == v for k, v in labels.items()
+        ):
+            return value
+    return None
+
+
+def _fmt(value: float | None, suffix: str = "") -> str:
+    if value is None:
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}{suffix}"
+    text = f"{value:.2f}".rstrip("0").rstrip(".")
+    return f"{text}{suffix}"
+
+
+def render_frame(
+    families: dict,
+    previous: dict | None = None,
+    dt_s: float | None = None,
+    source: str = "",
+) -> str:
+    """One dashboard frame from the latest scrape (and the one before it
+    for rate computation)."""
+    lines = [f"geo-repro top — {source}" if source else "geo-repro top"]
+    lines.append("")
+
+    lines.append("throughput (events/s over the poll interval):")
+    for family, label in _RATE_ROWS:
+        current = _value(families, family)
+        if current is None:
+            continue
+        rate = None
+        if previous is not None and dt_s and dt_s > 0:
+            before = _value(previous, family)
+            if before is not None:
+                rate = max(0.0, current - before) / dt_s
+        lines.append(
+            f"  {label:<20} {_fmt(rate, '/s') if rate is not None else '-':>12}"
+            f"   total {current:,.0f}"
+        )
+
+    depth = _value(families, "serve_queue_depth")
+    if depth is not None:
+        lines.append(f"  {'queue depth':<20} {depth:>12,.0f}")
+    lines.append("")
+
+    window = "serve_request_latency_ms_window"
+    if window in families:
+        p50 = _value(families, window, {"quantile": "0.5"})
+        p95 = _value(families, window, {"quantile": "0.95"})
+        p99 = _value(families, window, {"quantile": "0.99"})
+        count = _value(families, f"{window}_count")
+        lines.append(
+            "request latency (rolling window): "
+            f"p50 {_fmt(p50, 'ms')}  p95 {_fmt(p95, 'ms')}  "
+            f"p99 {_fmt(p99, 'ms')}  n={_fmt(count)}"
+        )
+        lines.append("")
+
+    burns = families.get("serve_slo_burn_rate", ())
+    if burns:
+        lines.append("SLO burn rates (1.0 = on budget):")
+        models = sorted(
+            {(labels or {}).get("model", "?") for labels, _ in burns}
+        )
+        for model in models:
+            parts = []
+            for sli in ("latency", "availability"):
+                short = _value(
+                    families,
+                    "serve_slo_burn_rate",
+                    {"model": model, "sli": sli, "window": "short"},
+                )
+                long_ = _value(
+                    families,
+                    "serve_slo_burn_rate",
+                    {"model": model, "sli": sli, "window": "long"},
+                )
+                parts.append(
+                    f"{sli} {_fmt(short)}/{_fmt(long_)} (short/long)"
+                )
+            breaching = _value(
+                families, "serve_slo_breaching", {"model": model}
+            )
+            flag = "  ** BREACHING **" if breaching else ""
+            lines.append(f"  {model:<12} " + "   ".join(parts) + flag)
+        lines.append("")
+
+    worker_bits = []
+    for family, label in (
+        ("serve_workers_spawned_total", "spawned"),
+        ("serve_workers_respawned_total", "respawned"),
+        ("serve_worker_crashes_total", "crashes"),
+        ("serve_worker_timeouts_total", "timeouts"),
+        ("serve_heartbeat_failures_total", "hb-failures"),
+    ):
+        value = _value(families, family)
+        if value is not None:
+            worker_bits.append(f"{label} {value:,.0f}")
+    if worker_bits:
+        lines.append("workers: " + "  ".join(worker_bits))
+
+    drop_bits = []
+    for family, label in (
+        ("obs_dropped_spans_total", "spans"),
+        ("obs_dropped_profiles_total", "profiles"),
+    ):
+        value = _value(families, family)
+        if value:
+            drop_bits.append(f"{label} {value:,.0f}")
+    if drop_bits:
+        lines.append("TELEMETRY DROPPED: " + "  ".join(drop_bits))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _poll_loop(url, interval_s, iterations, emit):
+    """Shared scrape→render loop; ``emit`` paints one frame."""
+    previous = None
+    last_at = None
+    n = 0
+    while iterations is None or n < iterations:
+        try:
+            families = fetch_metrics(url)
+        except ServeError as err:
+            emit(f"geo-repro top — {err}\n")
+            families = None
+        now = time.monotonic()
+        if families is not None:
+            dt = None if last_at is None else now - last_at
+            emit(render_frame(families, previous, dt, source=url))
+            previous, last_at = families, now
+        n += 1
+        if iterations is not None and n >= iterations:
+            break
+        time.sleep(interval_s)
+    return 0
+
+
+def run_top(
+    url: str,
+    interval_s: float = 1.0,
+    iterations: int | None = None,
+    plain: bool = False,
+) -> int:
+    """Run the dashboard against ``url`` (a ``/metrics`` endpoint).
+
+    ``iterations=1`` is the ``--once`` mode. Curses is used only when
+    available, interactive, and not asked to be ``plain``.
+    """
+    use_curses = not plain and iterations is None
+    if use_curses:
+        try:
+            import curses
+            import sys
+
+            use_curses = sys.stdout.isatty()
+        except ImportError:  # pragma: no cover - platform-dependent
+            use_curses = False
+    if not use_curses:
+        return _poll_loop(url, interval_s, iterations, emit=print)
+
+    def _run(screen):  # pragma: no cover - needs a real terminal
+        curses.use_default_colors()
+        screen.nodelay(True)
+
+        def paint(frame: str) -> None:
+            screen.erase()
+            max_y, max_x = screen.getmaxyx()
+            for y, line in enumerate(frame.splitlines()[: max_y - 1]):
+                screen.addnstr(y, 0, line, max_x - 1)
+            screen.addnstr(
+                max_y - 1, 0, "q to quit", max_x - 1, curses.A_DIM
+            )
+            screen.refresh()
+            if screen.getch() in (ord("q"), ord("Q")):
+                raise KeyboardInterrupt
+
+        try:
+            _poll_loop(url, interval_s, None, emit=paint)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    return curses.wrapper(_run)  # pragma: no cover - needs a terminal

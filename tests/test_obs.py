@@ -246,3 +246,163 @@ class TestParallelTelemetry:
         # reset() zeroes counters in place, so the key may pre-exist at 0
         # from earlier tests; the serial path must not bump it.
         assert obs.get_registry().counters().get("parallel.tasks", 0) == 0
+
+
+class TestHistogramQuantileEdges:
+    def test_empty_histogram_has_no_percentile(self):
+        hist = obs.histogram("edge.empty")
+        assert hist.percentile(50) is None
+        assert hist.percentile(99) is None
+
+    def test_single_sample_every_quantile_is_that_sample(self):
+        hist = obs.histogram("edge.single")
+        hist.observe(42.0)
+        for q in (0, 50, 95, 99, 100):
+            assert hist.percentile(q) == pytest.approx(42.0)
+
+    def test_all_equal_samples_collapse_to_that_value(self):
+        hist = obs.histogram("edge.equal")
+        for _ in range(100):
+            hist.observe(7.0)
+        for q in (50, 95, 99):
+            assert hist.percentile(q) == pytest.approx(7.0)
+
+
+class TestRollingWindow:
+    def test_empty_snapshot_is_none_valued(self):
+        window = obs.rolling("roll.empty")
+        snap = window.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_single_sample(self):
+        clock = iter([0.0, 0.1]).__next__
+        window = obs.RollingWindow("roll.one", window_s=60.0, clock=clock)
+        window.observe(5.0)
+        snap = window.snapshot()
+        assert snap["count"] == 1
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 5.0
+
+    def test_all_equal(self):
+        window = obs.rolling("roll.eq")
+        for _ in range(50):
+            window.observe(3.0)
+        snap = window.snapshot()
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 3.0
+        assert snap["mean"] == pytest.approx(3.0)
+
+    def test_quantiles_nearest_rank(self):
+        window = obs.rolling("roll.rank")
+        for v in range(1, 101):  # 1..100
+            window.observe(float(v))
+        snap = window.snapshot()
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["p99"] == 99.0
+
+    def test_samples_expire_with_the_window(self):
+        now = {"t": 0.0}
+        window = obs.RollingWindow(
+            "roll.exp", window_s=10.0, clock=lambda: now["t"]
+        )
+        window.observe(100.0)
+        now["t"] = 5.0
+        window.observe(1.0)
+        assert window.snapshot()["count"] == 2
+        now["t"] = 11.0  # first sample (t=0) now older than 10s
+        snap = window.snapshot()
+        assert snap["count"] == 1
+        assert snap["max"] == 1.0
+
+    def test_concurrent_writers_lose_nothing(self):
+        window = obs.rolling("roll.threads")
+        per_thread = 500
+        n_threads = 8
+
+        def write(base):
+            for i in range(per_thread):
+                window.observe(float(base + i))
+
+        threads = [
+            threading.Thread(target=write, args=(t * per_thread,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = window.snapshot()
+        # MAX_ROLLING_SAMPLES caps retention; everything retained must
+        # be intact and the stats well-formed under the race.
+        expected = min(per_thread * n_threads, window.maxlen)
+        assert snap["count"] == expected
+        assert snap["min"] >= 0.0
+        assert snap["max"] <= per_thread * n_threads - 1
+        assert snap["p50"] is not None
+
+    def test_reset_clears(self):
+        window = obs.rolling("roll.reset")
+        window.observe(1.0)
+        window.reset()
+        assert window.snapshot()["count"] == 0
+
+
+class TestPrometheusExposition:
+    def test_render_and_parse_round_trip(self):
+        obs.counter("prom.requests").add(5)
+        obs.gauge("prom.depth").set(3)
+        hist = obs.histogram("prom.lat", bounds=(1, 10, 100))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(v)
+        obs.rolling("prom.win").observe(7.0)
+        families = obs.parse_prometheus(obs.render_prometheus())
+        assert ("prom_requests_total" in families)
+        assert dict_sample(families["prom_requests_total"]) == 5.0
+        assert dict_sample(families["prom_depth"]) == 3.0
+        buckets = {
+            labels["le"]: value
+            for labels, value in families["prom_lat_bucket"]
+        }
+        assert buckets["+Inf"] == 4.0  # cumulative
+        assert buckets["10.0"] == 2.0
+        assert dict_sample(families["prom_lat_count"]) == 4.0
+        window = {
+            labels["quantile"]: value
+            for labels, value in families["prom_win_window"]
+        }
+        assert window["0.5"] == 7.0
+
+    def test_label_escaping_survives_round_trip(self):
+        extra = {
+            "weird_family": {
+                "type": "gauge",
+                "help": "label escaping",
+                "samples": [({"name": 'a"b\\c'}, 1.0)],
+            }
+        }
+        families = obs.parse_prometheus(
+            obs.render_prometheus(extra_families=extra)
+        )
+        labels, value = families["weird_family"][0]
+        assert labels["name"] == 'a"b\\c'
+        assert value == 1.0
+
+    def test_malformed_exposition_raises(self):
+        with pytest.raises(ValueError):
+            obs.parse_prometheus("this is { not valid\n")
+
+    def test_dropped_spans_surface_in_summary_and_metrics(self):
+        registry = obs.get_registry()
+        registry.dropped_spans = 7
+        registry.dropped_profiles = 2
+        tree = obs.summary_tree()
+        assert "DROPPED: 7 spans, 2 profiles" in tree
+        families = obs.parse_prometheus(obs.render_prometheus())
+        assert dict_sample(families["obs_dropped_spans_total"]) == 7.0
+        assert dict_sample(families["obs_dropped_profiles_total"]) == 2.0
+
+
+def dict_sample(samples):
+    """The value of a single-sample family."""
+    assert len(samples) == 1
+    return samples[0][1]
