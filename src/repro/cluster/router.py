@@ -1,0 +1,726 @@
+"""The cluster router: one HTTP frontend fanning out over N replicas.
+
+Request path::
+
+    POST /predict ──> per-model WFQ ──> forwarder threads ──> replica
+         (admission: sub-queue bound → 429)   (health-ranked candidates,
+                                               failover across the
+                                               placement set)
+
+The router parses just enough of the body to learn the model name, then
+forwards the raw bytes — replicas re-validate, so the router stays
+byte-transparent and cheap. Scheduling between models is weighted-fair
+(:mod:`repro.cluster.wfq`); candidate choice within a model's placement
+set is by live health score (:mod:`repro.cluster.health`) with the
+rendezvous placement order as the tie-break.
+
+Failure handling distinguishes three classes per attempt:
+
+* **transport failure** (connection refused/reset, timeout) — the
+  replica is presumed bad: feed the breaker, fail over immediately.
+* **backpressure** (replica 429/503: queue full, breaker open,
+  draining) — the replica is *healthy but shedding*: fail over without
+  penalising it.
+* **request defect** (400/404/504) — no replica will answer
+  differently: propagate to the client at once.
+
+A full sweep with no winner backs off briefly and retries (respawn +
+warm migration complete within a round or two), so killing a replica
+under load loses zero accepted requests. Only when every round fails
+does the client see :class:`~repro.errors.ReplicaUnavailableError`.
+
+Tracing crosses the extra hop: an ``X-Repro-Trace`` request runs under
+a child context at the router (``cluster.request`` /
+``cluster.forward`` spans) and is forwarded with a further child hop,
+so the replica's ``serve.request`` joins the same trace. ``GET
+/tracez`` merges the router's recent traces with every replica's —
+rebasing remote span clocks via each registry's ``epoch_wall`` and
+prefixing remote process rows with ``replica-<id>`` — so one Chrome
+trace shows router → replica → worker rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import obs
+from repro.cluster.manager import ReplicaManager
+from repro.cluster.wfq import make_scheduler
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    QueueFullError,
+    ReplicaUnavailableError,
+    ReproError,
+    ServeError,
+    ServiceDrainingError,
+    ShapeError,
+    UnknownModelError,
+)
+from repro.obs import trace
+from repro.obs.export import render_prometheus
+from repro.serve.client import retry_after_from_headers
+from repro.serve.server import status_for
+from repro.serve.service import _Stat, _StatHistogram
+
+__all__ = ["ClusterRouter", "RouterHTTPServer", "RouterPolicy", "make_router"]
+
+#: Replica status → error class for proxied failures. 503 bodies are
+#: disambiguated by the error name the replica reports (draining vs
+#: circuit open) — both fail over, but the distinction is kept for the
+#: client and the counters.
+_PROXY_ERROR_FOR_STATUS = {
+    400: ShapeError,
+    404: UnknownModelError,
+    429: QueueFullError,
+    503: CircuitOpenError,
+    504: DeadlineExceededError,
+}
+
+#: Replica answers that mean "try another replica": transient shedding,
+#: not request defects.
+_BACKPRESSURE = (QueueFullError, CircuitOpenError, ServiceDrainingError)
+
+
+@dataclass(frozen=True)
+class RouterPolicy:
+    """Tunables for the cluster router."""
+
+    #: ``"wfq"`` (weighted-fair, the default) or ``"fifo"`` (control arm).
+    scheduler: str = "wfq"
+    #: Per-model WFQ weights; unlisted models weigh 1.0.
+    weights: "dict[str, float] | None" = None
+    #: Bound per model sub-queue; overflow → 429 at the router.
+    max_queue_per_model: int = 64
+    #: Forwarder threads. 0 = auto: replicas × max_inflight_per_replica.
+    forwarders: int = 0
+    #: Concurrent proxied requests per replica (beyond it, the router
+    #: prefers another candidate instead of piling on).
+    max_inflight_per_replica: int = 4
+    #: Per-attempt proxy timeout.
+    request_timeout_s: float = 30.0
+    #: How long a queued request may wait for its answer end-to-end.
+    queue_wait_timeout_s: float = 30.0
+    #: Full candidate-sweep rounds before giving up (covers a respawn).
+    failover_rounds: int = 6
+    #: Backoff between sweeps (doubles per round, capped at 0.5 s).
+    failover_backoff_s: float = 0.05
+    #: Retry-After hint attached to router-side 429s.
+    retry_after_s: float = 0.05
+
+
+class _QueuedRequest:
+    """One admitted request riding the scheduler."""
+
+    __slots__ = ("body", "ctx", "event", "result", "error", "enqueued_at")
+
+    def __init__(self, body: bytes, ctx, enqueued_at: float):
+        self.body = body
+        self.ctx = ctx
+        self.event = threading.Event()
+        self.result: "dict | list | None" = None
+        self.error: "Exception | None" = None
+        self.enqueued_at = enqueued_at
+
+    def resolve(self, result) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: Exception) -> None:
+        self.error = error
+        self.event.set()
+
+
+class ClusterRouter:
+    """Routes requests over a :class:`ReplicaManager`'s replicas."""
+
+    def __init__(
+        self,
+        manager: ReplicaManager,
+        policy: "RouterPolicy | None" = None,
+    ):
+        self.manager = manager
+        self.policy = policy or RouterPolicy()
+        weights = dict(self.policy.weights or {})
+        for spec in manager.models:
+            weights.setdefault(spec.name, spec.weight)
+        self.scheduler = make_scheduler(
+            self.policy.scheduler,
+            max_per_model=self.policy.max_queue_per_model,
+            weights=weights,
+        )
+        count = self.policy.forwarders or (
+            manager.num_replicas * self.policy.max_inflight_per_replica
+        )
+        self._forwarder_count = count
+        self._inflight = {
+            rid: threading.BoundedSemaphore(
+                self.policy.max_inflight_per_replica
+            )
+            for rid in manager.ring.members()
+        }
+        self._load_lock = threading.Lock()  # guards: _inflight_load
+        #: Requests currently proxied per replica; equal-score
+        #: candidates are ranked least-loaded first so traffic spreads
+        #: across a healthy placement set instead of queueing on the
+        #: primary's inflight slots.
+        self._inflight_load = {rid: 0 for rid in manager.ring.members()}
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accepted = _Stat("cluster.requests_accepted")
+        self._completed = _Stat("cluster.requests_completed")
+        self._failed = _Stat("cluster.requests_failed")
+        self._rejected = _Stat("cluster.requests_rejected_queue_full")
+        self._failovers = _Stat("cluster.failovers")
+        self._sweep_retries = _Stat("cluster.sweep_retries")
+        self._proxied = _Stat("cluster.requests_proxied")
+        self._latency = _StatHistogram(
+            "cluster.request_latency_ms", unit="ms"
+        )
+        self._latency_rolling = obs.rolling(
+            "cluster.request_latency_ms", unit="ms"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ClusterRouter":
+        if self._threads:
+            return self
+        self._stop.clear()
+        for i in range(self._forwarder_count):
+            thread = threading.Thread(
+                target=self._forward_loop,
+                name=f"cluster-forward-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for _, item in self.scheduler.close():
+            item.fail(ServeError("router stopped"))
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path --------------------------------------------------------
+
+    def submit(self, model: str, body: bytes, ctx=None) -> _QueuedRequest:
+        """Admit one request; raises :class:`QueueFullError` when the
+        model's sub-queue is at capacity."""
+        item = _QueuedRequest(body, ctx, time.monotonic())
+        if not self.scheduler.offer(model, item):
+            self._rejected.add(1)
+            raise QueueFullError(
+                f"router queue for model {model!r} at capacity "
+                f"({self.policy.max_queue_per_model}); retry later",
+                retry_after_s=self.policy.retry_after_s,
+            )
+        self._accepted.add(1)
+        obs.gauge("cluster.queue_depth").set(self.scheduler.depth())
+        return item
+
+    def _candidates(self, model: str) -> list[tuple[str, str, float]]:
+        """``(replica_id, endpoint, score)`` for the model's placement
+        set, best first: healthiest, then least-loaded, then placement
+        rank. Zero-score replicas stay listed (last) so a sweep can
+        still probe when the whole set looks unhealthy — scores go
+        stale the moment a respawned replica readmits."""
+        with self._load_lock:
+            load = dict(self._inflight_load)
+        ranked = []
+        for rank, rid in enumerate(self.manager.placement(model)):
+            endpoint = self.manager.endpoint(rid)
+            if endpoint is None:
+                continue
+            score = self.manager.health(rid).score()
+            ranked.append(
+                (-score, load.get(rid, 0), rank, rid, endpoint, score)
+            )
+        ranked.sort()
+        return [(rid, ep, score) for _, _, _, rid, ep, score in ranked]
+
+    def _proxy(self, endpoint: str, item: _QueuedRequest):
+        """One attempt against one replica; returns the decoded JSON."""
+        headers = {"Content-Type": "application/json"}
+        if item.ctx is not None:
+            headers[trace.TRACE_HEADER] = item.ctx.child().to_header()
+        request = urllib.request.Request(
+            f"{endpoint}/predict",
+            data=item.body,
+            headers=headers,
+            method="POST",
+        )
+        self._proxied.add(1)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.policy.request_timeout_s
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            retry_after_s = retry_after_from_headers(err.headers)
+            try:
+                payload = json.loads(err.read())
+            except (json.JSONDecodeError, ValueError):
+                payload = {}
+            kind = _PROXY_ERROR_FOR_STATUS.get(err.code, ServeError)
+            if err.code == 503 and payload.get("error") == "ServiceDrainingError":
+                kind = ServiceDrainingError
+            error = kind(
+                f"replica answered HTTP {err.code}: "
+                f"{payload.get('detail', err.reason)}"
+            )
+            if retry_after_s is not None and hasattr(error, "retry_after_s"):
+                error.retry_after_s = retry_after_s
+            raise error from None
+
+    def _forward_loop(self) -> None:
+        while not self._stop.is_set():
+            pulled = self.scheduler.next(timeout=0.1)
+            if pulled is None:
+                continue
+            model, item = pulled
+            obs.gauge("cluster.queue_depth").set(self.scheduler.depth())
+            try:
+                self._forward(model, item)
+            except Exception as error:  # noqa: BLE001 - item must resolve
+                self._failed.add(1)
+                item.fail(error)
+
+    def _forward(self, model: str, item: _QueuedRequest) -> None:
+        """Route one request: health-ranked sweeps with failover."""
+        deadline = item.enqueued_at + self.policy.queue_wait_timeout_s
+        with trace.scope(item.ctx):
+            last_error: "Exception | None" = None
+            backoff = self.policy.failover_backoff_s
+            rounds_left = self.policy.failover_rounds
+            while rounds_left > 0:
+                done, last_error, saturated = self._sweep(
+                    model, item, last_error
+                )
+                if done:
+                    return
+                if time.monotonic() >= deadline:
+                    break
+                if saturated and last_error is None:
+                    # Every candidate was healthy but at its inflight
+                    # cap — that is queueing, not failure: the 50 ms
+                    # slot waits already paced this pass, so go again
+                    # without consuming a failover round or backing
+                    # off (a backed-off round here turns transient
+                    # saturation into a half-second latency cliff).
+                    continue
+                rounds_left -= 1
+                if rounds_left <= 0:
+                    break
+                self._sweep_retries.add(1)
+                time.sleep(min(backoff, max(0.0, deadline - time.monotonic())))
+                backoff = min(backoff * 2, 0.5)
+            self._failed.add(1)
+            item.fail(
+                last_error
+                if last_error is not None
+                else ReplicaUnavailableError(
+                    f"no healthy replica for model {model!r} "
+                    f"(placement {self.manager.placement(model)})",
+                    retry_after_s=self.policy.retry_after_s,
+                )
+            )
+
+    def _sweep(
+        self, model: str, item: _QueuedRequest, last_error
+    ) -> tuple[bool, "Exception | None", bool]:
+        """One pass over the candidate list.
+
+        Returns ``(resolved, last_error, saturated)`` — ``saturated``
+        marks a pass where at least one healthy candidate was skipped
+        only because its inflight slots were all taken, so the caller
+        can re-sweep immediately instead of backing off.
+        """
+        saturated = False
+        candidates = self._candidates(model)
+        for rid, endpoint, score in candidates:
+            health = self.manager.health(rid)
+            if not health.allow():
+                continue
+            slot = self._inflight[rid]
+            if not slot.acquire(timeout=0.05):
+                health.refund()  # candidate saturated; probe unspent
+                saturated = True
+                continue
+            with self._load_lock:
+                self._inflight_load[rid] += 1
+            try:
+                with obs.span(
+                    "cluster.forward", model=model, replica=rid
+                ):
+                    result = self._proxy(endpoint, item)
+            except _BACKPRESSURE as error:
+                # Healthy but shedding: don't penalise, do fail over.
+                health.note_result(True)
+                self._failovers.add(1)
+                last_error = error
+                continue
+            except (urllib.error.URLError, OSError, TimeoutError) as error:
+                # Transport failure: the replica is presumed bad.
+                health.note_result(False)
+                self._failovers.add(1)
+                obs.counter("cluster.transport_failures").add(1)
+                last_error = ReplicaUnavailableError(
+                    f"replica {rid} unreachable: {error}",
+                    retry_after_s=self.policy.retry_after_s,
+                )
+                continue
+            except ReproError as error:
+                # Request defect (400/404/504): every replica would
+                # answer the same — propagate immediately.
+                health.note_result(True)
+                self._failed.add(1)
+                item.fail(error)
+                return True, last_error, saturated
+            finally:
+                with self._load_lock:
+                    self._inflight_load[rid] -= 1
+                slot.release()
+            health.note_result(True)
+            latency_ms = (time.monotonic() - item.enqueued_at) * 1e3
+            self._completed.add(1)
+            self._latency.observe(latency_ms)
+            self._latency_rolling.observe(latency_ms)
+            item.resolve(result)
+            return True, last_error, saturated
+        if not candidates:
+            last_error = ReplicaUnavailableError(
+                f"no ready replica for model {model!r}",
+                retry_after_s=self.policy.retry_after_s,
+            )
+        return False, last_error, saturated
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "scheduler": {
+                "kind": self.policy.scheduler,
+                "depth": self.scheduler.depth(),
+                "per_model": self.scheduler.depths(),
+                "weights": dict(self.scheduler.weights),
+            },
+            "requests": {
+                "accepted": self._accepted.value,
+                "completed": self._completed.value,
+                "failed": self._failed.value,
+                "rejected_queue_full": self._rejected.value,
+                "proxied": self._proxied.value,
+                "failovers": self._failovers.value,
+                "sweep_retries": self._sweep_retries.value,
+            },
+            "latency_ms": self._latency.to_dict(),
+            "forwarders": self._forwarder_count,
+            "cluster": self.manager.stats(),
+        }
+
+    def cluster_families(self) -> dict:
+        """``cluster_*`` Prometheus families for ``/metrics``."""
+        up_samples, health_samples, pending_samples = [], [], []
+        for rid in self.manager.ring.members():
+            health = self.manager.health(rid)
+            snap = health.snapshot()
+            up = 1.0 if snap["alive"] and snap["admitted"] else 0.0
+            up_samples.append(({"replica": rid}, up))
+            health_samples.append(({"replica": rid}, snap["score"]))
+            pending_samples.append(
+                ({"replica": rid}, float(snap["pending"]))
+            )
+        # Every registered model gets a sample (0 when idle) so the
+        # family is present in the exposition even on a quiet router.
+        depths = {spec.name: 0 for spec in self.manager.models}
+        depths.update(self.scheduler.depths())
+        depth_samples = [
+            ({"model": model}, float(depth))
+            for model, depth in sorted(depths.items())
+        ]
+        placement_samples = [
+            ({"model": spec.name}, float(len(self.manager.placement(spec.name))))
+            for spec in self.manager.models
+        ]
+        return {
+            "cluster_replica_up": {
+                "type": "gauge",
+                "help": "1 when the replica is alive and admitted to the ring.",
+                "samples": up_samples,
+            },
+            "cluster_replica_health": {
+                "type": "gauge",
+                "help": "Replica routing score in [0,1] (0 = unroutable).",
+                "samples": health_samples,
+            },
+            "cluster_replica_pending": {
+                "type": "gauge",
+                "help": "Self-reported pending requests per replica.",
+                "samples": pending_samples,
+            },
+            "cluster_model_queue_depth": {
+                "type": "gauge",
+                "help": "Router scheduler depth per model.",
+                "samples": depth_samples,
+            },
+            "cluster_placement_replicas": {
+                "type": "gauge",
+                "help": "Placement-set width per model.",
+                "samples": placement_samples,
+            },
+        }
+
+    def merged_traces(self, limit: int = 10) -> list[dict]:
+        """Recent traces with every replica's spans merged in.
+
+        Remote spans are rebased onto this process's registry epoch
+        (wall-clock delta of the two epochs) and their ``process``
+        field is prefixed ``replica-<id>`` — the replica frontend's own
+        spans land on a ``replica-<id>`` row, its worker-pool spans on
+        ``replica-<id>/worker-N`` rows.
+        """
+        local_epoch = obs.get_registry().epoch_wall
+        merged: dict[str, list[dict]] = {}
+        order: list[str] = []
+        for entry in trace.recent_traces(limit=limit):
+            merged[entry["trace_id"]] = list(entry["spans"])
+            order.append(entry["trace_id"])
+        for rid in self.manager.ring.members():
+            endpoint = self.manager.endpoint(rid)
+            if endpoint is None:
+                continue
+            try:
+                with urllib.request.urlopen(
+                    f"{endpoint}/tracez?limit={int(limit)}", timeout=5.0
+                ) as response:
+                    payload = json.loads(response.read())
+            except (urllib.error.URLError, OSError, ValueError):
+                continue  # a dead/racing replica just contributes nothing
+            shift = payload.get("epoch_wall", local_epoch) - local_epoch
+            for remote in payload.get("traces", ()):
+                spans = []
+                for span in remote.get("spans", ()):
+                    span = dict(span)
+                    span["start_s"] = span["start_s"] + shift
+                    process = span.get("process", "")
+                    span["process"] = (
+                        f"replica-{rid}/{process}"
+                        if process
+                        else f"replica-{rid}"
+                    )
+                    spans.append(span)
+                trace_id = remote["trace_id"]
+                if trace_id not in merged:
+                    if limit and len(merged) >= limit:
+                        continue  # keep the response bounded
+                    merged[trace_id] = []
+                    order.append(trace_id)
+                merged[trace_id].extend(spans)
+        return [
+            {
+                "trace_id": trace_id,
+                "span_count": len(merged[trace_id]),
+                "spans": merged[trace_id],
+            }
+            for trace_id in order
+        ]
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """HTTP surface mirroring the replica frontend's endpoints."""
+
+    server: "RouterHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status, payload, extra_headers=None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        echo = getattr(self, "_trace_echo", None)
+        if echo:
+            self.send_header(trace.TRACE_HEADER, echo)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, error: Exception) -> None:
+        import math
+
+        headers = None
+        retry_after_s = getattr(error, "retry_after_s", None)
+        if retry_after_s is not None:
+            headers = {
+                "Retry-After": str(max(0, math.ceil(retry_after_s))),
+                "X-Retry-After-Ms": f"{retry_after_s * 1e3:.3f}",
+            }
+        self._send_json(
+            status_for(error),
+            {"error": type(error).__name__, "detail": str(error)},
+            extra_headers=headers,
+        )
+
+    def _send_text(self, status, body, content_type) -> None:
+        data = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        router = self.server.router
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/healthz":
+            endpoints = router.manager.endpoints()
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "role": "router",
+                    "replicas": {
+                        rid: {"endpoint": ep, "score": router.manager.health(rid).score()}
+                        for rid, ep in endpoints.items()
+                    },
+                    "models": sorted(
+                        m.name for m in router.manager.models
+                    ),
+                },
+            )
+        elif parsed.path == "/stats":
+            self._send_json(200, router.stats())
+        elif parsed.path == "/metrics":
+            body = render_prometheus(
+                extra_families=router.cluster_families()
+            )
+            self._send_text(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif parsed.path == "/tracez":
+            query = urllib.parse.parse_qs(parsed.query)
+            try:
+                limit = int(query.get("limit", ["10"])[0])
+            except ValueError:
+                limit = 10
+            self._send_json(
+                200,
+                {
+                    "traces": router.merged_traces(limit=limit),
+                    "epoch_wall": obs.get_registry().epoch_wall,
+                },
+            )
+        else:
+            self._send_json(404, {"error": "NotFound", "detail": self.path})
+
+    def _request_trace(self):
+        from_header = trace.TraceContext.from_header(
+            self.headers.get(trace.TRACE_HEADER)
+        )
+        if from_header is not None:
+            return from_header.child()
+        sample = self.server.trace_sample
+        if sample and next(self.server.request_seq) % sample == 0:
+            return trace.new_trace()
+        return None
+
+    def do_POST(self):  # noqa: N802 - stdlib casing
+        if self.path != "/predict":
+            self._send_json(404, {"error": "NotFound", "detail": self.path})
+            return
+        router = self.server.router
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length)
+            model = json.loads(body or b"{}")["model"]
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as err:
+            self._send_error_json(
+                ShapeError(f"malformed request body: {err}")
+            )
+            return
+        ctx = self._request_trace()
+        self._trace_echo = ctx.to_header() if ctx is not None else None
+        try:
+            if ctx is None:
+                item = router.submit(model, body)
+            else:
+                with trace.scope(ctx), obs.span(
+                    "cluster.request", model=model
+                ):
+                    item = router.submit(model, body, ctx=ctx)
+            if not item.event.wait(router.policy.queue_wait_timeout_s):
+                raise DeadlineExceededError(
+                    "router gave up after "
+                    f"{router.policy.queue_wait_timeout_s:.1f}s"
+                )
+            if item.error is not None:
+                raise item.error
+        except ReproError as err:
+            self._send_error_json(err)
+            return
+        self._send_json(200, item.result)
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`ClusterRouter`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address,
+        router: ClusterRouter,
+        verbose: bool = False,
+        trace_sample: int = 0,
+    ):
+        super().__init__(address, _RouterHandler)
+        self.router = router
+        self.verbose = verbose
+        self.trace_sample = trace_sample
+        self.request_seq = itertools.count()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="cluster-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def make_router(
+    router: ClusterRouter,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    trace_sample: int = 0,
+) -> RouterHTTPServer:
+    """Bind the router frontend (``port=0`` picks a free one)."""
+    return RouterHTTPServer(
+        (host, port), router, verbose=verbose, trace_sample=trace_sample
+    )

@@ -1,0 +1,206 @@
+"""Per-model weighted-fair queueing for the cluster router.
+
+The router cannot let one hot model's backlog starve every other
+model's requests, so instead of a single FIFO it runs one bounded
+sub-queue per model and serves them by **virtual-time weighted fair
+queueing** (a packetized processor-sharing approximation, the classic
+WFQ/SFQ construction):
+
+* The scheduler keeps a virtual clock ``V`` that advances to the finish
+  tag of each item it serves.
+* An arriving item for model *m* gets finish tag
+  ``F = max(V, last_finish[m]) + cost / weight[m]`` — back-to-back
+  items of one model space out by ``cost/weight`` in virtual time,
+  while an idle model's next arrival starts at ``V`` (no banked credit
+  for idling, the standard start-time fairness property).
+* ``next()`` always pops the globally smallest finish tag.
+
+With equal weights this degenerates to round-robin between backlogged
+models, which is exactly the starvation guarantee: a model sending 100×
+the traffic gets served 100× less often *per queued item*, so the cold
+model's queueing delay stays bounded by (its own service time × number
+of backlogged models), independent of the hot model's arrival rate.
+
+:class:`FIFOQueue` implements the same interface with one global queue
+— the control arm for the starvation benchmark, and occasionally the
+right choice for homogeneous single-tenant traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+__all__ = ["FIFOQueue", "WeightedFairQueue", "make_scheduler"]
+
+
+class WeightedFairQueue:
+    """Virtual-time WFQ over per-model bounded sub-queues.
+
+    ``offer`` is non-blocking and returns ``False`` when the model's
+    sub-queue is full (the router turns that into 429 backpressure);
+    ``next`` blocks up to ``timeout`` for the item with the smallest
+    finish tag. ``weights`` maps model → relative share (default 1.0;
+    unknown models get the default, so weights are an operator tuning
+    knob, not a registration requirement).
+    """
+
+    def __init__(
+        self,
+        max_per_model: int = 64,
+        weights: "dict[str, float] | None" = None,
+        default_weight: float = 1.0,
+    ):
+        if max_per_model < 1:
+            raise ValueError(
+                f"max_per_model must be >= 1, got {max_per_model}"
+            )
+        self.max_per_model = max_per_model
+        self.weights = dict(weights or {})
+        self.default_weight = default_weight
+        self._cond = threading.Condition()  # guards: _heap, _depths, _virtual, _last_finish, _closed
+        self._heap: list[tuple[float, int, str, object]] = []
+        self._depths: dict[str, int] = {}
+        self._virtual = 0.0
+        self._last_finish: dict[str, float] = {}
+        self._seq = itertools.count()  # FIFO tie-break within a model
+        self._closed = False
+
+    def weight(self, model: str) -> float:
+        return max(self.weights.get(model, self.default_weight), 1e-9)
+
+    def offer(self, model: str, item, cost: float = 1.0) -> bool:
+        """Enqueue; ``False`` = sub-queue full (shed with backpressure)."""
+        with self._cond:
+            if self._closed:
+                return False
+            if self._depths.get(model, 0) >= self.max_per_model:
+                return False
+            start = max(self._virtual, self._last_finish.get(model, 0.0))
+            finish = start + cost / self.weight(model)
+            self._last_finish[model] = finish
+            heapq.heappush(
+                self._heap, (finish, next(self._seq), model, item)
+            )
+            self._depths[model] = self._depths.get(model, 0) + 1
+            self._cond.notify()
+            return True
+
+    def next(self, timeout: "float | None" = None):
+        """``(model, item)`` with the smallest finish tag, or ``None`` on
+        timeout / close."""
+        with self._cond:
+            while not self._heap:
+                if self._closed or not self._cond.wait(timeout):
+                    return None
+            finish, _, model, item = heapq.heappop(self._heap)
+            # Virtual time only moves forward; a tag from before the
+            # clock advanced past it must not drag V backwards.
+            self._virtual = max(self._virtual, finish)
+            depth = self._depths.get(model, 1) - 1
+            if depth:
+                self._depths[model] = depth
+            else:
+                self._depths.pop(model, None)
+            return model, item
+
+    def depth(self, model: "str | None" = None) -> int:
+        with self._cond:
+            if model is not None:
+                return self._depths.get(model, 0)
+            return len(self._heap)
+
+    def depths(self) -> dict[str, int]:
+        with self._cond:
+            return dict(self._depths)
+
+    def close(self) -> list[tuple[str, object]]:
+        """Stop accepting, wake waiters, and hand back queued items so
+        the router can fail their futures explicitly."""
+        with self._cond:
+            self._closed = True
+            drained = [(model, item) for _, _, model, item in self._heap]
+            self._heap.clear()
+            self._depths.clear()
+            self._cond.notify_all()
+            return drained
+
+
+class FIFOQueue:
+    """Single global FIFO with the :class:`WeightedFairQueue` interface.
+
+    The per-model bound still applies (admission must stay comparable
+    between schedulers in the A/B benchmark); service order is pure
+    arrival order, so a hot model's backlog delays everyone behind it.
+    """
+
+    def __init__(
+        self,
+        max_per_model: int = 64,
+        weights: "dict[str, float] | None" = None,
+        default_weight: float = 1.0,
+    ):
+        self.max_per_model = max_per_model
+        self.weights = dict(weights or {})
+        self.default_weight = default_weight
+        self._cond = threading.Condition()  # guards: _queue, _depths, _closed
+        self._queue: list[tuple[str, object]] = []
+        self._depths: dict[str, int] = {}
+        self._closed = False
+
+    def offer(self, model: str, item, cost: float = 1.0) -> bool:  # noqa: ARG002 - interface parity
+        with self._cond:
+            if self._closed:
+                return False
+            if self._depths.get(model, 0) >= self.max_per_model:
+                return False
+            self._queue.append((model, item))
+            self._depths[model] = self._depths.get(model, 0) + 1
+            self._cond.notify()
+            return True
+
+    def next(self, timeout: "float | None" = None):
+        with self._cond:
+            while not self._queue:
+                if self._closed or not self._cond.wait(timeout):
+                    return None
+            model, item = self._queue.pop(0)
+            depth = self._depths.get(model, 1) - 1
+            if depth:
+                self._depths[model] = depth
+            else:
+                self._depths.pop(model, None)
+            return model, item
+
+    def depth(self, model: "str | None" = None) -> int:
+        with self._cond:
+            if model is not None:
+                return self._depths.get(model, 0)
+            return len(self._queue)
+
+    def depths(self) -> dict[str, int]:
+        with self._cond:
+            return dict(self._depths)
+
+    def close(self) -> list[tuple[str, object]]:
+        with self._cond:
+            self._closed = True
+            drained = list(self._queue)
+            self._queue.clear()
+            self._depths.clear()
+            self._cond.notify_all()
+            return drained
+
+
+def make_scheduler(
+    name: str,
+    max_per_model: int = 64,
+    weights: "dict[str, float] | None" = None,
+):
+    """``"wfq"`` or ``"fifo"`` → a scheduler instance."""
+    if name == "wfq":
+        return WeightedFairQueue(max_per_model, weights)
+    if name == "fifo":
+        return FIFOQueue(max_per_model, weights)
+    raise ValueError(f"unknown scheduler {name!r} (want 'wfq' or 'fifo')")

@@ -1,0 +1,71 @@
+"""Synthetic serving workloads for cluster benchmarks and smokes.
+
+The cluster benchmarks measure *orchestration* — routing, queueing,
+placement, failover — not kernel arithmetic. On a single-vCPU host a
+CPU-bound SC forward cannot demonstrate replica scaling (N processes
+share one core), so the scaling arm uses a **fixed-service-time model**:
+its forward sleeps a calibrated wall-clock interval (releasing the GIL,
+exactly like a model waiting on an accelerator or a remote device)
+before a tiny real matmul. Throughput is then wall-clock bound per
+replica, which is the regime where router scaling is both measurable
+and honest — the recorded ``BENCH_cluster.json`` carries a machine note
+saying so (the same convention as ``BENCH_hot_path.json``'s
+``multicore_note``).
+
+Everything here must be picklable: replica processes receive their
+model set over a multiprocessing pipe at spawn.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["FixedServiceModel", "fixed_service_model"]
+
+
+class FixedServiceModel(Module):
+    """A model whose forward takes a fixed wall-clock service time.
+
+    ``service_ms`` is the per-batch forward duration; the sleep stands
+    in for device/accelerator latency and releases the GIL so replicas
+    overlap. The trailing :class:`~repro.nn.layers.Linear` keeps the
+    output a real computation over the input (shape ``(features,)`` →
+    ``(classes,)``), so result plumbing, argmax, and shape validation
+    stay meaningful.
+    """
+
+    def __init__(
+        self,
+        service_ms: float = 20.0,
+        features: int = 8,
+        classes: int = 4,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.service_s = service_ms / 1e3
+        self.head = Linear(
+            features, classes, rng=np.random.default_rng(seed)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.service_s > 0:
+            time.sleep(self.service_s)
+        return self.head(x)
+
+
+def fixed_service_model(
+    service_ms: float = 20.0,
+    features: int = 8,
+    classes: int = 4,
+    seed: int = 0,
+) -> tuple[FixedServiceModel, tuple[int, ...]]:
+    """``(model, input_shape)`` ready for ``ModelRegistry.register``."""
+    return (
+        FixedServiceModel(service_ms, features, classes, seed),
+        (features,),
+    )

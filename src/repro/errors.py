@@ -84,6 +84,27 @@ class CircuitOpenError(ServeError):
         self.retry_after_s = retry_after_s
 
 
+class ServiceDrainingError(ServeError):
+    """The server is draining (graceful shutdown): it no longer accepts
+    new requests but finishes those already admitted. A router/client
+    should fail over to another replica or retry after
+    ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ReplicaUnavailableError(ServeError):
+    """No healthy replica could serve the request (:mod:`repro.cluster`):
+    every candidate in the model's placement set is dead, draining, or
+    shedding load. ``retry_after_s`` hints when to try again."""
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class ExecutionBackendError(ServeError):
     """Base class for execution-backend failures (:mod:`repro.serve.backend`).
 

@@ -39,7 +39,7 @@ RUNNABLE = (
     "ablations", "ablations-training",
 )
 
-EXPERIMENTS = RUNNABLE + ("all", "serve", "top", "lint")
+EXPERIMENTS = RUNNABLE + ("all", "serve", "cluster", "top", "lint")
 
 
 def _run(name: str, scale: str, csv_dir: str | None = None) -> None:
@@ -134,6 +134,10 @@ def _run_serve(args) -> int:
         verbose=True,
         trace_sample=args.trace_sample,
     )
+    import threading
+
+    drained = threading.Event()
+    serve.install_graceful_shutdown(server, service, on_done=drained.set)
     chaos_note = (
         f", chaos {args.chaos!r}" if chaos is not None and chaos.active else ""
     )
@@ -150,8 +154,13 @@ def _run_serve(args) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
-        server.shutdown()
-        service.stop()
+        if server.draining:
+            # SIGTERM path: the drain thread owns shutdown; wait for it
+            # so in-flight requests finish before telemetry is written.
+            drained.wait(timeout=35.0)
+        else:
+            server.shutdown()
+            service.stop()
         if args.profile:
             jsonl, trace_path = obs.export_profile(args.profile)
             print(obs.summary_tree())
@@ -159,17 +168,123 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_cluster(args) -> int:
+    """``geo-repro cluster``: router + N supervised serve replicas.
+
+    Spawns ``--replicas`` full serve stacks (each its own process with
+    a warm model registry), places the demo model over them with
+    rendezvous hashing, and fronts them with the weighted-fair router
+    on ``--port``. ``--workload fixed`` swaps the demo CNN-4 for the
+    fixed-service-time synthetic model (cheap replicas; orchestration
+    demos and benchmarks). With ``--profile PATH``, shutdown writes the
+    router's telemetry plus ``PATH.cluster.trace.json`` — recent traces
+    merged across the router and every replica (one Chrome pid row per
+    process).
+    """
+    from repro import cluster
+    from repro.cluster.workload import fixed_service_model
+    from repro.models.cnn4 import cnn4_sc
+    from repro.obs.export import write_spans_trace
+    from repro.scnn.config import SCConfig
+
+    if args.profile:
+        obs.reset()  # profile this router's lifetime only
+    if args.workload == "fixed":
+        model, input_shape = fixed_service_model(
+            service_ms=args.service_ms
+        )
+    else:
+        cfg = SCConfig(
+            stream_length=args.stream_length,
+            stream_length_pooling=args.stream_length * 2,
+        )
+        model = cnn4_sc(cfg, num_classes=10, in_channels=3, input_size=32)
+        input_shape = (3, 32, 32)
+    specs = [cluster.ClusterModel(args.model, model, input_shape)]
+    manager = cluster.ReplicaManager(
+        specs,
+        num_replicas=args.replicas,
+        replication=args.replication,
+        trace_sample=args.trace_sample,
+        host=args.host,
+    ).start()
+    router = cluster.ClusterRouter(
+        manager,
+        policy=cluster.RouterPolicy(scheduler=args.scheduler),
+    ).start()
+    server = cluster.make_router(
+        router,
+        host=args.host,
+        port=args.port,
+        verbose=True,
+        trace_sample=args.trace_sample,
+    )
+    server.serve_background()
+    print(
+        f"cluster router for {args.model!r} on "
+        f"http://{args.host}:{server.port} — POST /predict, GET /healthz, "
+        f"GET /stats, GET /metrics, GET /tracez (merged); "
+        f"{args.replicas} replica(s) "
+        f"{manager.endpoints()}, replication {manager.ring.replication}, "
+        f"scheduler {args.scheduler!r}; Ctrl-C to stop"
+    )
+    import signal as _signal
+    import time as _time
+
+    def _sigterm(signum, frame):  # noqa: ARG001 - signal signature
+        # Route SIGTERM through the KeyboardInterrupt path below so the
+        # router and every replica shut down cleanly (replicas drain
+        # in-flight work via their own SIGTERM handlers; the pipe
+        # "stop" from manager.stop() reaches them first here).
+        raise KeyboardInterrupt
+
+    _signal.signal(_signal.SIGTERM, _sigterm)
+
+    try:
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        merged = router.merged_traces(limit=50) if args.profile else []
+        server.shutdown()
+        router.stop()
+        manager.stop()
+        if args.profile:
+            jsonl, trace_path = obs.export_profile(args.profile)
+            spans = [s for t in merged for s in t["spans"]]
+            cluster_trace = write_spans_trace(
+                f"{args.profile}.cluster.trace.json",
+                spans,
+                metadata={"traces": len(merged)},
+            )
+            print(obs.summary_tree())
+            print(
+                f"wrote {jsonl}, {trace_path} and {cluster_trace} "
+                "(cluster-merged trace)"
+            )
+    return 0
+
+
 def _run_top(args) -> int:
-    """``geo-repro top``: live dashboard over a serve /metrics endpoint."""
+    """``geo-repro top``: live dashboard over serve /metrics endpoints.
+
+    ``--endpoint`` (repeatable) watches several frontends at once and
+    renders the aggregated cluster view; ``--url`` remains the
+    single-endpoint spelling.
+    """
     from repro.serve.top import run_top
 
-    url = args.url
-    if not url.startswith("http"):
-        url = f"http://{url}"
-    if not url.endswith("/metrics"):
-        url = url.rstrip("/") + "/metrics"
+    def _normalize(url: str) -> str:
+        if not url.startswith("http"):
+            url = f"http://{url}"
+        if not url.endswith("/metrics"):
+            url = url.rstrip("/") + "/metrics"
+        return url
+
+    urls = [_normalize(u) for u in (args.endpoint or [args.url])]
     return run_top(
-        url,
+        urls,
         interval_s=args.interval,
         iterations=1 if args.once else None,
         plain=args.plain,
@@ -254,12 +369,42 @@ def main(argv: list[str] | None = None) -> int:
         help="trace every Nth headerless request (0 = only requests "
         "carrying X-Repro-Trace are traced)",
     )
+    cluster_group = parser.add_argument_group(
+        "cluster", "options for `geo-repro cluster` (multi-replica router)"
+    )
+    cluster_group.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica server processes to spawn",
+    )
+    cluster_group.add_argument(
+        "--replication", type=int, default=2,
+        help="placement copies per model (capped at --replicas)",
+    )
+    cluster_group.add_argument(
+        "--scheduler", default="wfq", choices=("wfq", "fifo"),
+        help="router scheduling between models: weighted-fair (default) "
+        "or a single FIFO",
+    )
+    cluster_group.add_argument(
+        "--workload", default="cnn4", choices=("cnn4", "fixed"),
+        help="demo model per replica: the SC CNN-4 (default) or the "
+        "fixed-service-time synthetic model",
+    )
+    cluster_group.add_argument(
+        "--service-ms", type=float, default=20.0,
+        help="forward duration for --workload fixed",
+    )
     top_group = parser.add_argument_group(
         "top", "options for `geo-repro top` (live /metrics dashboard)"
     )
     top_group.add_argument(
         "--url", default="127.0.0.1:8080",
         help="serve frontend to watch (host:port or full /metrics URL)",
+    )
+    top_group.add_argument(
+        "--endpoint", action="append", default=None, metavar="URL",
+        help="metrics endpoint to watch; repeat for an aggregated "
+        "cluster view (counters sum, gauges max-merge). Overrides --url",
     )
     top_group.add_argument(
         "--interval", type=float, default=1.0, help="poll period seconds"
@@ -296,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "serve":
         return _run_serve(args)
+
+    if args.experiment == "cluster":
+        return _run_cluster(args)
 
     if args.experiment == "top":
         return _run_top(args)

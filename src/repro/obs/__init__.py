@@ -61,6 +61,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
     write_request_trace,
+    write_spans_trace,
 )
 
 __all__ = [
@@ -91,4 +92,5 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "write_request_trace",
+    "write_spans_trace",
 ]

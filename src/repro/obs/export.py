@@ -43,6 +43,7 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "write_request_trace",
+    "write_spans_trace",
 ]
 
 
@@ -179,6 +180,25 @@ def write_chrome_trace(
     return path
 
 
+def write_spans_trace(
+    path: str | Path,
+    spans: list[dict],
+    metadata: dict | None = None,
+) -> Path:
+    """Chrome trace from an explicit span list (one ``pid`` row per
+    source process). The escape hatch for mergers that assemble spans
+    from several registries/processes themselves — the cluster router's
+    ``/tracez`` merge renders through this."""
+    events, _ = _span_events(spans)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metadata:
+        payload["metadata"] = metadata
+    path.write_text(json.dumps(payload))
+    return path
+
+
 def write_request_trace(
     path: str | Path, trace_id: str, registry: Registry | None = None
 ) -> Path:
@@ -189,19 +209,7 @@ def write_request_trace(
     from repro.obs.trace import collect_trace
 
     spans = collect_trace(trace_id, registry)
-    events, _ = _span_events(spans)
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(
-            {
-                "traceEvents": events,
-                "displayTimeUnit": "ms",
-                "metadata": {"trace_id": trace_id},
-            }
-        )
-    )
-    return path
+    return write_spans_trace(path, spans, metadata={"trace_id": trace_id})
 
 
 def export_profile(

@@ -48,7 +48,12 @@ from repro.serve.registry import (
     ModelRegistry,
     tier_ladder,
 )
-from repro.serve.server import ServeHTTPServer, make_server
+from repro.serve.server import (
+    ServeHTTPServer,
+    install_graceful_shutdown,
+    make_server,
+    status_for,
+)
 from repro.serve.service import InferenceService, PredictResult
 from repro.serve.slo import SLOPolicy, SLOTracker
 
@@ -73,7 +78,9 @@ __all__ = [
     "SLOTracker",
     "ServeHTTPServer",
     "ServePolicy",
+    "install_graceful_shutdown",
     "make_backend",
     "make_server",
+    "status_for",
     "tier_ladder",
 ]

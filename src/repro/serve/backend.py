@@ -314,7 +314,7 @@ class _WorkerHandle:
         self.last_ping = now
 
 
-def _pool_context():
+def pool_context():
     """Best multiprocessing context for the pool (forkserver > spawn).
 
     The preload list MUST keep ``"__main__"`` (the stdlib default):
@@ -377,7 +377,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._ctx = (
             multiprocessing.get_context(start_method)
             if start_method is not None
-            else _pool_context()
+            else pool_context()
         )
         self._cond = threading.Condition()  # guards: _workers, _idle, _known_models, _next_id, _stopping, _started, _ping_seq, counters
         self._workers: dict[int, _WorkerHandle] = {}

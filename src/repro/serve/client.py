@@ -61,8 +61,12 @@ _ERROR_FOR_STATUS = {
 _RETRYABLE = (QueueFullError, CircuitOpenError)
 
 
-def _retry_after_from_headers(headers) -> float | None:
-    """Parse the backoff hint; prefers the millisecond extension."""
+def retry_after_from_headers(headers) -> float | None:
+    """Parse the backoff hint; prefers the millisecond extension.
+
+    Shared with the cluster router's proxy path, which feeds a shed
+    replica's hint into its failover decision.
+    """
     precise = headers.get("X-Retry-After-Ms")
     if precise is not None:
         try:
@@ -76,6 +80,10 @@ def _retry_after_from_headers(headers) -> float | None:
         except ValueError:
             pass
     return None
+
+
+#: Backward-compatible alias (pre-cluster internal name).
+_retry_after_from_headers = retry_after_from_headers
 
 
 class Client:

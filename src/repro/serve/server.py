@@ -40,7 +40,9 @@ from __future__ import annotations
 import itertools
 import json
 import math
+import signal as signal_module
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -52,6 +54,7 @@ from repro.errors import (
     DeadlineExceededError,
     QueueFullError,
     ReproError,
+    ServiceDrainingError,
     ShapeError,
     UnknownModelError,
 )
@@ -64,17 +67,22 @@ from repro.serve.slo import slo_families
 #: this many starts a fresh trace (0 disables ambient sampling).
 DEFAULT_TRACE_SAMPLE = 16
 
-_STATUS_FOR = (
+#: Error → HTTP status mapping, shared with the cluster router so both
+#: frontends speak the same protocol (and the HTTP client's inverse map
+#: in :mod:`repro.serve.client` round-trips either way).
+STATUS_FOR = (
     (UnknownModelError, 404),
     (QueueFullError, 429),
+    (ServiceDrainingError, 503),
     (CircuitOpenError, 503),
     (DeadlineExceededError, 504),
     (ShapeError, 400),
 )
 
 
-def _status_for(error: Exception) -> int:
-    for kind, status in _STATUS_FOR:
+def status_for(error: Exception) -> int:
+    """HTTP status code for a :class:`~repro.errors.ReproError`."""
+    for kind, status in STATUS_FOR:
         if isinstance(error, kind):
             return status
     return 500
@@ -140,8 +148,9 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         parsed = urllib.parse.urlsplit(self.path)
         if parsed.path == "/healthz":
+            status = "draining" if self.server.draining else "ok"
             self._send_json(
-                200, {"status": "ok", "models": service.registry.names()}
+                200, {"status": status, "models": service.registry.names()}
             )
         elif parsed.path == "/stats":
             self._send_json(200, service.stats())
@@ -158,8 +167,15 @@ class _Handler(BaseHTTPRequestHandler):
                 limit = int(query.get("limit", ["10"])[0])
             except ValueError:
                 limit = 10
+            # epoch_wall lets a remote merger (the cluster router, the
+            # CLI's --profile export) rebase these spans' monotonic
+            # timestamps onto its own clock.
             self._send_json(
-                200, {"traces": trace.recent_traces(limit=limit)}
+                200,
+                {
+                    "traces": trace.recent_traces(limit=limit),
+                    "epoch_wall": obs.get_registry().epoch_wall,
+                },
             )
         else:
             self._send_json(404, {"error": "NotFound", "detail": self.path})
@@ -182,6 +198,19 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self):  # noqa: N802 - stdlib casing
         if self.path != "/predict":
             self._send_json(404, {"error": "NotFound", "detail": self.path})
+            return
+        if self.server.draining:
+            # Read (and discard) the body so HTTP/1.1 keep-alive framing
+            # stays intact, then shed: in-flight work finishes, new work
+            # belongs on another replica.
+            length = int(self.headers.get("Content-Length", 0))
+            if length:
+                self.rfile.read(length)
+            error = ServiceDrainingError(
+                "server is draining; retry against another replica",
+                retry_after_s=self.server.drain_retry_after_s,
+            )
+            self._send_error_json(status_for(error), error)
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -211,7 +240,7 @@ class _Handler(BaseHTTPRequestHandler):
                 ):
                     self._predict(service, entry, model, inputs, deadline_s)
         except ReproError as err:
-            self._send_error_json(_status_for(err), err)
+            self._send_error_json(status_for(err), err)
 
     def _predict(self, service, entry, model, inputs, deadline_s) -> None:
         if inputs.shape == entry.input_shape:
@@ -246,10 +275,19 @@ class ServeHTTPServer(ThreadingHTTPServer):
         #: Headerless-request counter driving ambient trace sampling
         #: (itertools.count is atomic under CPython — no lock needed).
         self.request_seq = itertools.count()
+        #: Set once drain starts; handlers shed /predict with 503 while
+        #: GET endpoints stay live so health checks observe the drain.
+        self._draining = threading.Event()
+        #: Retry-After hint handed to shed requests during drain.
+        self.drain_retry_after_s = 1.0
 
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
 
     def serve_background(self) -> threading.Thread:
         """Run :meth:`serve_forever` on a daemon thread (tests, CLI)."""
@@ -258,6 +296,28 @@ class ServeHTTPServer(ThreadingHTTPServer):
         )
         thread.start()
         return thread
+
+    def drain(self, timeout_s: float = 30.0, poll_s: float = 0.02) -> bool:
+        """Graceful drain: stop accepting, let admitted work finish.
+
+        New ``POST /predict`` requests are shed with ``503`` +
+        ``Retry-After`` immediately; the call then waits until the
+        service reports zero pending requests (queued + in flight) or
+        ``timeout_s`` elapses. Returns ``True`` when the service fully
+        drained. Idempotent; GET endpoints (``/healthz``, ``/metrics``,
+        ``/stats``, ``/tracez``) keep answering so supervisors can watch
+        the drain progress. The caller still owns ``shutdown()`` /
+        ``service.stop()`` afterwards.
+        """
+        self._draining.set()
+        obs.counter("serve.drains_started").add(1)
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.service.pending() == 0:
+                obs.counter("serve.drains_completed").add(1)
+                return True
+            time.sleep(poll_s)
+        return self.service.pending() == 0
 
 
 def make_server(
@@ -271,3 +331,41 @@ def make_server(
     return ServeHTTPServer(
         (host, port), service, verbose=verbose, trace_sample=trace_sample
     )
+
+
+def install_graceful_shutdown(
+    server: ServeHTTPServer,
+    service: InferenceService,
+    signals: tuple[int, ...] = (signal_module.SIGTERM,),
+    drain_timeout_s: float = 30.0,
+    on_done=None,
+) -> None:
+    """SIGTERM → drain → stop, for clean replica recycling.
+
+    On the first listed signal the server sheds new ``/predict`` traffic
+    (503 + ``Retry-After``), waits for in-flight and queued requests to
+    finish (up to ``drain_timeout_s``), then shuts the HTTP server and
+    service down and calls ``on_done()`` if given. The drain runs on a
+    helper thread so the signal handler returns immediately (handlers
+    run on the main thread, which may be inside ``serve_forever``).
+    Signal handlers can only be installed from the main thread; replica
+    processes call this from their own main thread before entering the
+    supervision loop.
+    """
+
+    def _drain_and_stop() -> None:
+        server.drain(timeout_s=drain_timeout_s)
+        server.shutdown()
+        service.stop()
+        if on_done is not None:
+            on_done()
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal signature
+        if server.draining:  # second signal: already on the way down
+            return
+        threading.Thread(
+            target=_drain_and_stop, name="serve-drain", daemon=True
+        ).start()
+
+    for sig in signals:
+        signal_module.signal(sig, _handler)

@@ -517,6 +517,16 @@ class InferenceService:
 
     # -- introspection -------------------------------------------------------
 
+    def pending(self) -> int:
+        """Requests still owed an answer: queued plus in flight.
+
+        Zero means every admitted request has resolved — the signal a
+        draining server waits on before exiting.
+        """
+        with self._state_lock:
+            in_flight = self._in_flight
+        return in_flight + self.batcher.depth()
+
     def stats(self) -> dict:
         """Point-in-time service statistics (the ``/stats`` payload).
 

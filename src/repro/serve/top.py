@@ -23,7 +23,17 @@ import urllib.request
 from repro.errors import ServeError
 from repro.obs.export import parse_prometheus
 
-__all__ = ["fetch_metrics", "render_frame", "run_top"]
+__all__ = [
+    "aggregate_families",
+    "fetch_metrics",
+    "render_frame",
+    "run_top",
+]
+
+#: Sample-name suffixes whose values are additive across endpoints
+#: (counters and histogram components); everything else is a gauge-like
+#: quantity where the fleet view wants the worst case, so it max-merges.
+_SUM_SUFFIXES = ("_total", "_count", "_sum", "_bucket")
 
 #: (family, label) rows in the "throughput" section, in display order.
 _RATE_ROWS = (
@@ -34,6 +44,13 @@ _RATE_ROWS = (
     ("serve_requests_expired_total", "expired"),
     ("serve_requests_failed_total", "failed"),
     ("serve_batches_dispatched_total", "batches"),
+    # Router families (absent rows are skipped, so a plain serve
+    # endpoint renders unchanged).
+    ("cluster_requests_accepted_total", "router accepted"),
+    ("cluster_requests_completed_total", "router completed"),
+    ("cluster_requests_rejected_queue_full_total", "router rejected"),
+    ("cluster_failovers_total", "router failovers"),
+    ("cluster_warm_migrations_total", "warm migrations"),
 )
 
 
@@ -45,6 +62,36 @@ def fetch_metrics(url: str, timeout_s: float = 5.0) -> dict:
     except (urllib.error.URLError, OSError) as err:
         raise ServeError(f"cannot scrape {url}: {err}") from None
     return parse_prometheus(text)
+
+
+def aggregate_families(scrapes: "list[dict]") -> dict:
+    """Merge several endpoints' parsed ``/metrics`` into one fleet view.
+
+    Counter-like samples (``_total`` / ``_count`` / ``_sum`` /
+    ``_bucket``) **sum** across endpoints — fleet throughput is the sum
+    of replica throughputs. Everything else (gauges, rolling-window
+    quantiles, burn rates) **max-merges**: for depth, burn, and latency
+    quantiles the operator cares about the worst replica, and a max is
+    honest where a cross-replica quantile merge would not be. Samples
+    match on (family, labels) exactly.
+    """
+    merged: dict[str, dict] = {}
+    for families in scrapes:
+        for name, samples in families.items():
+            additive = name.endswith(_SUM_SUFFIXES)
+            bucket = merged.setdefault(name, {})
+            for labels, value in samples:
+                key = tuple(sorted((labels or {}).items()))
+                if key not in bucket:
+                    bucket[key] = (labels, value)
+                elif additive:
+                    bucket[key] = (labels, bucket[key][1] + value)
+                else:
+                    bucket[key] = (labels, max(bucket[key][1], value))
+    return {
+        name: [sample for _, sample in bucket.items()]
+        for name, bucket in merged.items()
+    }
 
 
 def _value(families: dict, name: str, labels: dict | None = None) -> float | None:
@@ -166,21 +213,40 @@ def render_frame(
     return "\n".join(lines).rstrip() + "\n"
 
 
-def _poll_loop(url, interval_s, iterations, emit):
+def _scrape_all(urls: "list[str]") -> tuple["dict | None", str]:
+    """Scrape every endpoint; returns ``(aggregated, source_label)``.
+
+    Partial outages degrade instead of failing: reachable endpoints
+    still aggregate, and the label marks how many answered. All-down
+    returns ``(None, <error label>)``.
+    """
+    scrapes, errors = [], []
+    for url in urls:
+        try:
+            scrapes.append(fetch_metrics(url))
+        except ServeError as err:
+            errors.append(str(err))
+    if not scrapes:
+        return None, errors[0] if errors else "no endpoints"
+    if len(urls) == 1:
+        return scrapes[0], urls[0]
+    label = f"{len(scrapes)}/{len(urls)} endpoints (aggregated)"
+    return aggregate_families(scrapes), label
+
+
+def _poll_loop(urls, interval_s, iterations, emit):
     """Shared scrape→render loop; ``emit`` paints one frame."""
     previous = None
     last_at = None
     n = 0
     while iterations is None or n < iterations:
-        try:
-            families = fetch_metrics(url)
-        except ServeError as err:
-            emit(f"geo-repro top — {err}\n")
-            families = None
+        families, source = _scrape_all(urls)
+        if families is None:
+            emit(f"geo-repro top — {source}\n")
         now = time.monotonic()
         if families is not None:
             dt = None if last_at is None else now - last_at
-            emit(render_frame(families, previous, dt, source=url))
+            emit(render_frame(families, previous, dt, source=source))
             previous, last_at = families, now
         n += 1
         if iterations is not None and n >= iterations:
@@ -190,16 +256,20 @@ def _poll_loop(url, interval_s, iterations, emit):
 
 
 def run_top(
-    url: str,
+    url: "str | list[str]",
     interval_s: float = 1.0,
     iterations: int | None = None,
     plain: bool = False,
 ) -> int:
-    """Run the dashboard against ``url`` (a ``/metrics`` endpoint).
+    """Run the dashboard against one or more ``/metrics`` endpoints.
 
-    ``iterations=1`` is the ``--once`` mode. Curses is used only when
-    available, interactive, and not asked to be ``plain``.
+    A list renders the aggregated cluster view: counters sum across
+    endpoints, gauge-like families max-merge (see
+    :func:`aggregate_families`). ``iterations=1`` is the ``--once``
+    mode. Curses is used only when available, interactive, and not
+    asked to be ``plain``.
     """
+    urls = [url] if isinstance(url, str) else list(url)
     use_curses = not plain and iterations is None
     if use_curses:
         try:
@@ -210,7 +280,7 @@ def run_top(
         except ImportError:  # pragma: no cover - platform-dependent
             use_curses = False
     if not use_curses:
-        return _poll_loop(url, interval_s, iterations, emit=print)
+        return _poll_loop(urls, interval_s, iterations, emit=print)
 
     def _run(screen):  # pragma: no cover - needs a real terminal
         curses.use_default_colors()
@@ -229,7 +299,7 @@ def run_top(
                 raise KeyboardInterrupt
 
         try:
-            _poll_loop(url, interval_s, None, emit=paint)
+            _poll_loop(urls, interval_s, None, emit=paint)
         except KeyboardInterrupt:
             pass
         return 0

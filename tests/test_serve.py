@@ -641,3 +641,129 @@ def test_cnn4_serves_end_to_end():
     assert 0 <= result.argmax < 10
     assert stats["requests"]["completed"] == 1
     assert stats["models"]["cnn4"]["max_tier"] == 1
+
+
+class _SlowModel(nn.layers.Module):
+    """Forward sleeps a fixed interval — an in-flight request holder."""
+
+    def __init__(self, service_s=0.15, features=8, classes=3):
+        super().__init__()
+        self.service_s = service_s
+        self.head = nn.layers.Linear(
+            features, classes, rng=np.random.default_rng(0)
+        )
+
+    def forward(self, x):
+        import time
+
+        time.sleep(self.service_s)
+        return self.head(x)
+
+
+class TestGracefulDrain:
+    def _stack(self, model=None, **policy_kw):
+        registry = ModelRegistry()
+        registry.register(
+            "fp", model or _fp_model(), input_shape=(8,), warm=False
+        )
+        policy = ServePolicy(**policy_kw) if policy_kw else None
+        service = serve.InferenceService(registry, policy).start()
+        server = serve.make_server(service, port=0)
+        server.serve_background()
+        return registry, service, server
+
+    def test_drain_sheds_predict_with_503_and_retry_after(self):
+        import json as json_module
+        import urllib.error
+        import urllib.request
+
+        _, service, server = self._stack()
+        try:
+            assert not server.draining
+            assert server.drain(timeout_s=5.0)  # idle: drains instantly
+            assert server.draining
+
+            url = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{url}/healthz", timeout=5) as r:
+                assert json_module.loads(r.read())["status"] == "draining"
+
+            body = json_module.dumps(
+                {"model": "fp", "inputs": [0.0] * 8}
+            ).encode()
+            request = urllib.request.Request(
+                f"{url}/predict",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            err = excinfo.value
+            assert err.code == 503
+            assert err.headers["Retry-After"] is not None
+            assert err.headers["X-Retry-After-Ms"] is not None
+            payload = json_module.loads(err.read())
+            assert payload["error"] == "ServiceDrainingError"
+
+            # Keep-alive framing survived the shed: the same socket
+            # path still answers GETs.
+            with urllib.request.urlopen(f"{url}/stats", timeout=5) as r:
+                assert r.status == 200
+        finally:
+            server.shutdown()
+            service.stop()
+
+    def test_drain_waits_for_inflight_requests(self):
+        import time
+
+        _, service, server = self._stack(model=_SlowModel(service_s=0.2))
+        client = serve.HTTPClient(f"http://127.0.0.1:{server.port}")
+        try:
+            result = {}
+
+            def slow_predict():
+                result["out"] = client.predict("fp", np.zeros(8, np.float32))
+
+            thread = threading.Thread(target=slow_predict, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 2.0
+            while service.pending() == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert service.pending() >= 1  # the request is in the house
+            assert server.drain(timeout_s=5.0)  # waits for it, then True
+            thread.join(timeout=5.0)
+            assert len(result["out"]["outputs"]) == 3  # finished, not shed
+            assert service.pending() == 0
+        finally:
+            server.shutdown()
+            service.stop()
+
+    def test_pending_counts_queued_and_inflight(self):
+        _, service, server = self._stack()
+        try:
+            assert service.pending() == 0
+        finally:
+            server.shutdown()
+            service.stop()
+
+    def test_install_graceful_shutdown_on_sigterm(self):
+        import os
+        import signal
+        import time
+
+        _, service, server = self._stack()
+        done = threading.Event()
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            serve.install_graceful_shutdown(
+                server, service, drain_timeout_s=5.0, on_done=done.set
+            )
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert done.wait(timeout=10.0)
+            assert server.draining
+            deadline = time.monotonic() + 5.0
+            while service._dispatcher is not None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert service._stop.is_set()
+            assert service._dispatcher is None  # service fully stopped
+        finally:
+            signal.signal(signal.SIGTERM, previous)
