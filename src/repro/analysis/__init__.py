@@ -7,10 +7,11 @@ seed derivation, deterministic modules never read wall clocks, and
 shared mutable state is only touched under its declared lock. This
 package enforces those invariants mechanically:
 
-* :mod:`repro.analysis.rules` — AST rules RPR001..RPR005 over the
+* :mod:`repro.analysis.rules` — AST rules RPR001..RPR006 over the
   source tree (unseeded randomness, wall-clock reads, lock-guard
   discipline, ``__all__`` parity, dataclass ``to_dict``/``from_dict``
-  parity), run via ``python -m repro.analysis`` or ``geo-repro lint``.
+  parity, non-atomic state-file writes), run via
+  ``python -m repro.analysis`` or ``geo-repro lint``.
 * :mod:`repro.analysis.lockwatch` — an opt-in (``REPRO_LOCKWATCH=1``)
   runtime sanitizer that wraps ``threading`` locks, builds the
   acquired-before graph, and reports lock-order inversions (potential

@@ -1,4 +1,4 @@
-"""Built-in project-invariant rules RPR001..RPR005.
+"""Built-in project-invariant rules RPR001..RPR006.
 
 Each rule encodes an invariant the reproduction already relies on
 implicitly (see DESIGN §3.5 for the rationale):
@@ -9,7 +9,8 @@ implicitly (see DESIGN §3.5 for the rationale):
   explicit seed (``np.random.default_rng(seed)``, ``random.Random(seed)``).
 * **RPR002** — no wall-clock reads (``time.time``, ``datetime.now``,
   …) inside deterministic modules (``sc/``, ``scnn/``, ``arch/``,
-  ``serve/chaos.py``); monotonic or injected clocks only.
+  ``utils/chaos.py`` and its ``serve/chaos.py`` alias); monotonic or
+  injected clocks only.
 * **RPR003** — every lock declared with a ``# guards:`` annotation has
   its guarded attributes mutated only inside ``with <lock>:`` blocks
   (``__init__``/``__setstate__`` and ``*_locked`` helper methods, whose
@@ -20,6 +21,10 @@ implicitly (see DESIGN §3.5 for the rationale):
   ``from_dict`` keep field parity: explicit dict keys and ``cls(...)``
   keywords must be real fields, and a literal ``to_dict`` (one that
   does not call ``asdict``) must cover every field.
+* **RPR006** — persistence functions (``save*``/``*checkpoint*``/
+  ``*journal*``/``*persist*``) must not write state files in place: a
+  crash mid-write tears the file. Route writes through
+  :mod:`repro.utils.atomic` (or an explicit tmp + ``replace`` dance).
 """
 
 from __future__ import annotations
@@ -180,7 +185,11 @@ def is_deterministic_module(ctx: FileContext) -> bool:
     parts = ctx.parts
     if any(part in _DETERMINISTIC_DIRS for part in parts):
         return True
-    return ctx.path.name == "chaos.py" and "serve" in parts
+    # Chaos injection must replay exactly (home: utils/chaos.py, with a
+    # backwards-compatible alias at serve/chaos.py).
+    return ctx.path.name == "chaos.py" and (
+        "serve" in parts or "utils" in parts
+    )
 
 
 @register
@@ -188,7 +197,7 @@ class WallClockRead(Rule):
     code = "RPR002"
     name = "wall-clock-in-deterministic-module"
     summary = (
-        "sc/, scnn/, arch/, and serve/chaos.py must stay replayable: "
+        "sc/, scnn/, arch/, and chaos.py must stay replayable: "
         "no time.time/datetime.now — use monotonic or injected clocks"
     )
 
@@ -680,3 +689,124 @@ class DictRoundTripParity(Rule):
                         f"{cls.name}.from_dict passes {keyword.arg!r}, "
                         "which is not a dataclass field",
                     )
+
+
+# -- RPR006: non-atomic writes of persistent state ---------------------------
+
+#: Function-name tokens that mark a function as persisting state. Names
+#: are split on underscores so e.g. ``load_checkpoint`` (token ``load``
+#: + ``checkpoint``) still matches — it *could* rewrite on migration —
+#: but read-only functions simply contain no write calls to flag.
+_PERSIST_TOKENS = {"save", "checkpoint", "ckpt", "persist", "journal"}
+
+#: Resolved call paths that write a file in one shot.
+_DIRECT_WRITERS = {
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "json.dump",
+    "pickle.dump",
+}
+
+#: Resolved call paths that make a write atomic/durable — their
+#: presence anywhere in the function marks it compliant.
+_ATOMIC_WRITERS_PREFIX = "repro.utils.atomic."
+_RENAME_CALLS = {"os.replace", "os.rename"}
+
+
+def _is_persistence_function(name: str) -> bool:
+    tokens = set(name.lower().strip("_").split("_"))
+    return bool(tokens & _PERSIST_TOKENS)
+
+
+def _open_write_mode(node: ast.Call) -> bool:
+    """True when ``open(...)`` is called with a truncating write mode."""
+    mode = None
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        mode = node.args[1].value
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            mode = keyword.value.value
+    return isinstance(mode, str) and "w" in mode
+
+
+def _mentions_tmp(node: ast.AST) -> bool:
+    """Heuristic: the write target is an explicit temporary file."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "tmp" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "tmp" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if "tmp" in sub.value.lower():
+                return True
+    return False
+
+
+@register
+class NonAtomicStateWrite(Rule):
+    code = "RPR006"
+    name = "non-atomic-state-write"
+    summary = (
+        "functions that persist state (save*/*checkpoint*/*journal*) "
+        "must write via repro.utils.atomic or tmp + os.replace — an "
+        "in-place write torn by a crash corrupts the state file"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # The atomic helpers themselves implement the tmp+replace dance.
+        if ctx.path.name == "atomic.py" and "utils" in ctx.parts:
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_persistence_function(node.name):
+                continue
+            yield from self._check_function(ctx, node, aliases)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        writes: list[tuple[ast.AST, str]] = []
+        compliant = False
+        for sub in ast.walk(fn):
+            if not isinstance(sub, ast.Call):
+                continue
+            path = resolve_call_path(sub, aliases)
+            if path is not None:
+                if path.startswith(_ATOMIC_WRITERS_PREFIX):
+                    compliant = True
+                    continue
+                if path in _RENAME_CALLS:
+                    compliant = True
+                    continue
+                if path in _DIRECT_WRITERS and not _mentions_tmp(sub):
+                    writes.append((sub, path))
+                    continue
+                if path == "open" and _open_write_mode(sub):
+                    if not _mentions_tmp(sub):
+                        writes.append((sub, "open(..., 'w')"))
+                    continue
+            if isinstance(sub.func, ast.Attribute):
+                attr = sub.func.attr
+                if attr == "replace":
+                    # pathlib's tmp.replace(dst) — the rename half of a
+                    # hand-rolled atomic write.
+                    compliant = True
+                elif attr in ("write_text", "write_bytes"):
+                    if not _mentions_tmp(sub):
+                        writes.append((sub, f".{attr}(...)"))
+        if compliant:
+            return
+        for site, label in writes:
+            yield self.finding(
+                ctx,
+                site,
+                f"{fn.name}() persists state via {label} with no "
+                "tmp+replace in sight; use repro.utils.atomic so a "
+                "crash cannot tear the file",
+            )

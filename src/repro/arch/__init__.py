@@ -50,6 +50,7 @@ from repro.arch.sweep import (
     DesignPoint,
     best_under_area,
     pareto_frontier,
+    read_sweep_journal,
     sweep,
 )
 from repro.arch.functional import RowDatapath, segmented_reference
@@ -101,6 +102,7 @@ __all__ = [
     "DesignPoint",
     "best_under_area",
     "pareto_frontier",
+    "read_sweep_journal",
     "sweep",
     "RowDatapath",
     "segmented_reference",

@@ -6,12 +6,23 @@ that: sweep row count / row width / memory split / stream lengths over a
 workload, simulate every point, and return the Pareto frontier in the
 (area, latency, energy) space — the tool a designer would actually use to
 pick the next GEO instance.
+
+Sweeps are **resumable**: pass ``journal_path`` and every evaluated grid
+point is appended to a fsync'd JSONL journal as it completes. A killed
+sweep relaunched with the same journal skips every point already on
+disk and evaluates only the remainder — each point is a pure function
+of its grid coordinates, so journalled and re-evaluated points are
+interchangeable. A torn trailing record (crash mid-append) is tolerated
+and simply re-evaluated.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import threading
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.arch.blocks import build_blocks
 from repro.arch.geo import GEO_ULP, GeoArchConfig
@@ -19,6 +30,7 @@ from repro.arch.perfsim import simulate
 from repro.errors import ConfigurationError
 from repro.models.shapes import LayerShape
 from repro.scnn.config import SCConfig
+from repro.utils.atomic import fsync_append
 from repro.utils.parallel import parallel_map
 
 
@@ -79,6 +91,92 @@ def _evaluate_point(
     )
 
 
+# -- sweep journal (resumable sweeps) -----------------------------------------
+
+
+def _journal_key(rows: int, width: int, streams: tuple[int, int]) -> tuple:
+    return (int(rows), int(width), int(streams[0]), int(streams[1]))
+
+
+def _point_record(
+    rows: int, width: int, streams: tuple[int, int], point: DesignPoint
+) -> dict:
+    return {
+        "kind": "point",
+        "rows": int(rows),
+        "row_width": int(width),
+        "pool_stream": int(streams[0]),
+        "stream": int(streams[1]),
+        "area_mm2": point.area_mm2,
+        "frames_per_second": point.frames_per_second,
+        "frames_per_joule": point.frames_per_joule,
+        "power_mw": point.power_mw,
+    }
+
+
+def _point_from_record(record: dict, base: GeoArchConfig) -> DesignPoint:
+    rows = int(record["rows"])
+    width = int(record["row_width"])
+    arch = base.with_(
+        name=f"sweep-{rows}x{width}", rows=rows, row_width=width
+    )
+    streams = SCConfig(
+        stream_length=int(record["stream"]),
+        stream_length_pooling=int(record["pool_stream"]),
+    )
+    return DesignPoint(
+        arch=arch,
+        streams=streams,
+        area_mm2=float(record["area_mm2"]),
+        frames_per_second=float(record["frames_per_second"]),
+        frames_per_joule=float(record["frames_per_joule"]),
+        power_mw=float(record["power_mw"]),
+    )
+
+
+def read_sweep_journal(
+    journal_path: "str | Path", base: GeoArchConfig
+) -> dict[tuple, DesignPoint]:
+    """Completed grid points recorded in a sweep journal.
+
+    Journal hygiene: a torn trailing line (crash mid-append) is skipped
+    — its point is simply re-evaluated. A journal started against a
+    *different* base architecture raises: silently mixing two sweeps'
+    points would poison the Pareto frontier.
+    """
+    journal_path = Path(journal_path)
+    completed: dict[tuple, DesignPoint] = {}
+    if not journal_path.exists():
+        return completed
+    for line in journal_path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn trailing record: re-evaluate that point
+        if record.get("kind") == "header":
+            if record.get("base") != base.name:
+                raise ConfigurationError(
+                    f"sweep journal {journal_path} was started for base "
+                    f"{record.get('base')!r}, not {base.name!r}"
+                )
+            continue
+        if record.get("kind") != "point":
+            continue
+        try:
+            point = _point_from_record(record, base)
+        except (KeyError, TypeError, ValueError, ConfigurationError):
+            continue  # malformed record: re-evaluate
+        key = _journal_key(
+            record["rows"],
+            record["row_width"],
+            (record["pool_stream"], record["stream"]),
+        )
+        completed[key] = point
+    return completed
+
+
 def sweep(
     layers: list[LayerShape],
     rows_options: tuple[int, ...] = (16, 32, 64),
@@ -86,6 +184,7 @@ def sweep(
     stream_options: tuple[tuple[int, int], ...] = ((16, 32), (32, 64), (64, 128)),
     base: GeoArchConfig = GEO_ULP,
     num_workers: int | None = 1,
+    journal_path: "str | Path | None" = None,
 ) -> list[DesignPoint]:
     """Evaluate the cross product of architecture knobs on a workload.
 
@@ -95,16 +194,54 @@ def sweep(
     :mod:`repro.utils.parallel` convention). Results are returned in
     grid order regardless of worker count, so downstream consumers
     (Pareto frontier, CSV export) see a deterministic sequence.
+
+    ``journal_path`` makes the sweep resumable: every completed point is
+    fsync-appended to a JSONL journal as it lands, and points already in
+    the journal are loaded instead of re-simulated (see
+    :func:`read_sweep_journal`). Each point is a pure function of its
+    grid coordinates, so a resumed sweep returns exactly what an
+    uninterrupted one would.
     """
     if not layers:
         raise ConfigurationError("sweep needs a workload")
+    grid = list(
+        itertools.product(rows_options, row_width_options, stream_options)
+    )
     jobs = [
-        (layers, base, rows, width, streams)
-        for rows, width, streams in itertools.product(
-            rows_options, row_width_options, stream_options
-        )
+        (layers, base, rows, width, streams) for rows, width, streams in grid
     ]
-    return parallel_map(_evaluate_point, jobs, num_workers=num_workers)
+    if journal_path is None:
+        return parallel_map(_evaluate_point, jobs, num_workers=num_workers)
+
+    journal = Path(journal_path)
+    completed = read_sweep_journal(journal, base)
+    if not journal.exists():
+        header = {"kind": "header", "base": base.name}
+        fsync_append(journal, json.dumps(header, sort_keys=True) + "\n")
+    results: list[DesignPoint | None] = [None] * len(jobs)
+    pending: list[tuple[int, tuple]] = []
+    for index, (rows, width, streams) in enumerate(grid):
+        point = completed.get(_journal_key(rows, width, streams))
+        if point is not None:
+            results[index] = point
+        else:
+            pending.append((index, jobs[index]))
+    append_lock = threading.Lock()
+
+    def _evaluate_and_journal(item: tuple[int, tuple]) -> tuple[int, DesignPoint]:
+        index, job = item
+        point = _evaluate_point(job)
+        rows, width, streams = grid[index]
+        record = _point_record(rows, width, streams, point)
+        with append_lock:
+            fsync_append(journal, json.dumps(record, sort_keys=True) + "\n")
+        return index, point
+
+    for index, point in parallel_map(
+        _evaluate_and_journal, pending, num_workers=num_workers
+    ):
+        results[index] = point
+    return results
 
 
 def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:

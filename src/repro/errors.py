@@ -127,3 +127,18 @@ class WorkerTimeoutError(ExecutionBackendError):
 class ResultCorruptionError(ExecutionBackendError):
     """A worker returned a malformed result (wrong shape/dtype or
     non-finite values where the model cannot produce them)."""
+
+
+class TrainingInterrupted(ReproError):
+    """A training run was preempted (SIGTERM/SIGINT or an explicit
+    :func:`repro.scnn.train.request_preemption`) and checkpointed.
+
+    Carries where the run stopped so callers can log/relaunch; the
+    checkpoint plus its resume marker make the relaunch bit-identical
+    to a never-interrupted run.
+    """
+
+    def __init__(self, message: str, epoch: int = 0, batch: int = 0):
+        super().__init__(message)
+        self.epoch = epoch
+        self.batch = batch

@@ -39,7 +39,7 @@ RUNNABLE = (
     "ablations", "ablations-training",
 )
 
-EXPERIMENTS = RUNNABLE + ("all", "serve", "cluster", "top", "lint")
+EXPERIMENTS = RUNNABLE + ("all", "serve", "cluster", "top", "lint", "train")
 
 
 def _run(name: str, scale: str, csv_dir: str | None = None) -> None:
@@ -291,6 +291,108 @@ def _run_top(args) -> int:
     )
 
 
+def _run_train(args) -> int:
+    """``geo-repro train``: fault-tolerant SC training demo.
+
+    Trains the small CNN-4 with atomic checkpoints (``--ckpt``) and
+    SIGTERM/SIGINT preemption: a kill checkpoints at the next batch
+    boundary, writes a resume marker, and exits with status 3; rerunning
+    the same command resumes bit-identically (a resume marker implies
+    ``--resume``). ``--pool-workers`` offloads the SC forwards to the
+    supervised process pool, optionally under ``--chaos`` fault
+    injection — crashed batches retry, never lose the run.
+    """
+    from repro import serve
+    from repro.datasets import downscale, load_pair
+    from repro.errors import TrainingInterrupted
+    from repro.models.cnn4 import cnn4_sc
+    from repro.scnn import MinibatchPool, read_resume_marker, train_model
+    from repro.scnn.config import SCConfig
+
+    if args.profile:
+        obs.reset()
+    train_set, test_set = load_pair(
+        "svhn", args.train_samples, args.test_samples, seed=args.seed
+    )
+    train_set, test_set = downscale(train_set, 2), downscale(test_set, 2)
+    cfg = SCConfig(
+        stream_length=args.stream_length,
+        stream_length_pooling=args.stream_length,
+    )
+    model = cnn4_sc(
+        cfg, input_size=16, width_mult=0.25, kernel_size=3, seed=1
+    )
+    resume = args.resume
+    if args.ckpt:
+        marker = read_resume_marker(args.ckpt)
+        if marker is not None:
+            print(
+                f"resume marker found ({marker['reason']} "
+                f"{marker['detail']}); resuming"
+            )
+            resume = True
+    chaos = serve.ChaosConfig.parse(args.chaos) if args.chaos else None
+    pool_cm = (
+        MinibatchPool(
+            model,
+            input_shape=(3, 16, 16),
+            num_workers=args.pool_workers,
+            chaos=chaos,
+        )
+        if args.pool_workers
+        else None
+    )
+    try:
+        if pool_cm is not None:
+            with pool_cm as pool:
+                result = train_model(
+                    model,
+                    train_set,
+                    test_set,
+                    epochs=args.epochs,
+                    batch_size=args.batch_size,
+                    seed=args.seed,
+                    eval_every=1,
+                    verbose=True,
+                    checkpoint_path=args.ckpt,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=resume,
+                    pool=pool,
+                    handle_signals=True,
+                )
+                print(f"pool stats: {pool.stats()}")
+        else:
+            result = train_model(
+                model,
+                train_set,
+                test_set,
+                epochs=args.epochs,
+                batch_size=args.batch_size,
+                seed=args.seed,
+                eval_every=1,
+                verbose=True,
+                checkpoint_path=args.ckpt,
+                checkpoint_every=args.checkpoint_every,
+                resume=resume,
+                handle_signals=True,
+            )
+    except TrainingInterrupted as error:
+        print(
+            f"preempted at epoch {error.epoch} batch {error.batch}; "
+            f"checkpoint saved to {args.ckpt} — rerun to resume"
+        )
+        return 3
+    print(
+        f"done: train_acc={result.train_accuracy:.4f} "
+        f"test_acc={result.test_accuracy:.4f}"
+    )
+    if args.profile:
+        jsonl, trace = obs.export_profile(args.profile)
+        print(obs.summary_tree())
+        print(f"wrote {jsonl} and {trace}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="geo-repro",
@@ -417,6 +519,45 @@ def main(argv: list[str] | None = None) -> int:
         "--plain", action="store_true",
         help="never use curses; print one frame per poll",
     )
+    train_group = parser.add_argument_group(
+        "train", "options for `geo-repro train` (fault-tolerant training)"
+    )
+    train_group.add_argument(
+        "--ckpt", default=None, metavar="PATH",
+        help="atomic training checkpoint path; enables preemption "
+        "(SIGTERM/SIGINT checkpoint-and-exit) and --resume",
+    )
+    train_group.add_argument(
+        "--resume", action="store_true",
+        help="resume from --ckpt if it exists (bit-identical); implied "
+        "when a resume marker from a preempted run is present",
+    )
+    train_group.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="also checkpoint every N batches (0: epoch ends only)",
+    )
+    train_group.add_argument(
+        "--epochs", type=int, default=2, help="training epochs"
+    )
+    train_group.add_argument(
+        "--batch-size", type=int, default=16, help="minibatch size"
+    )
+    train_group.add_argument(
+        "--seed", type=int, default=0, help="data order / sampling seed"
+    )
+    train_group.add_argument(
+        "--train-samples", type=int, default=96,
+        help="SVHN training subset size",
+    )
+    train_group.add_argument(
+        "--test-samples", type=int, default=48,
+        help="SVHN test subset size",
+    )
+    train_group.add_argument(
+        "--pool-workers", type=int, default=0, metavar="N",
+        help="run SC forwards on an N-worker supervised process pool "
+        "(0: in-process); honors --chaos fault injection",
+    )
     lint_group = parser.add_argument_group(
         "lint", "options for `geo-repro lint` (the repro.analysis rules)"
     )
@@ -447,6 +588,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "top":
         return _run_top(args)
+
+    if args.experiment == "train":
+        return _run_train(args)
 
     if args.experiment == "lint":
         # Same runner and reporters as `python -m repro.analysis`.

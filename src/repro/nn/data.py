@@ -38,6 +38,12 @@ class DataLoader:
     Shuffling uses a dedicated generator seeded per epoch so paired
     experiment arms (e.g. the Fig. 1 sharing levels) see identical data
     ordering — removing run-to-run variance from comparisons.
+
+    Because the epoch order is a pure function of ``(seed, epoch)``, the
+    loader can checkpoint its position as just two integers
+    (:meth:`state_dict`) and replay the exact remaining batches of an
+    interrupted epoch after :meth:`load_state_dict` — the basis for the
+    bit-identical mid-epoch resume in :mod:`repro.scnn.train`.
     """
 
     def __init__(
@@ -56,6 +62,8 @@ class DataLoader:
         self.seed = seed
         self.drop_last = drop_last
         self._epoch = 0
+        self._pos = 0
+        self._resume = False
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -64,13 +72,56 @@ class DataLoader:
         return -(-n // self.batch_size)
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if self._resume:
+            # Mid-epoch resume: replay the interrupted epoch's shuffle
+            # (epoch counter was already advanced past it) and skip the
+            # batches that were consumed before the checkpoint.
+            self._resume = False
+            epoch = self._epoch - 1
+            first_batch = self._pos
+        else:
+            epoch = self._epoch
+            first_batch = 0
+            self._epoch += 1
+            self._pos = 0
         n = len(self.dataset)
         order = np.arange(n)
         if self.shuffle:
-            rng = np.random.default_rng((self.seed, self._epoch))
+            rng = np.random.default_rng((self.seed, epoch))
             rng.shuffle(order)
-        self._epoch += 1
         stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
-        for start in range(0, stop, self.batch_size):
+        for start in range(
+            first_batch * self.batch_size, stop, self.batch_size
+        ):
             idx = order[start : start + self.batch_size]
+            # Count the batch as consumed *before* handing it out: while
+            # the consumer processes batch k the generator is suspended
+            # here, and a checkpoint taken at that moment must record
+            # k+1 so resume continues with the next batch, not a replay.
+            self._pos += 1
             yield self.dataset.images[idx], self.dataset.labels[idx]
+        self._pos = 0
+
+    # -- checkpoint state ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Loader position: the next epoch to draw and, when captured
+        mid-epoch, how many batches of the current epoch were consumed."""
+        return {"epoch": self._epoch, "pos": self._pos}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture.
+
+        A nonzero ``pos`` arms mid-epoch resume: the next ``__iter__``
+        continues the interrupted epoch at batch ``pos`` instead of
+        starting a new epoch.
+        """
+        epoch = int(state["epoch"])
+        pos = int(state["pos"])
+        if epoch < 0 or pos < 0:
+            raise ConfigurationError(
+                f"loader state must be non-negative, got epoch={epoch} pos={pos}"
+            )
+        self._epoch = epoch
+        self._pos = pos
+        self._resume = pos > 0

@@ -33,6 +33,46 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    # -- state (warm restarts / checkpointing) -------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (see subclasses for contents).
+
+        The base contract covers the current learning rate — mutable at
+        runtime via :class:`StepLR` — so a resumed run continues on the
+        decayed schedule instead of silently resetting to the
+        constructor's ``lr``.
+        """
+        return {"kind": type(self).__name__, "lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the state
+        was captured from a different optimizer class or a different
+        parameter list shape — a silent partial restore would train, but
+        not the run you checkpointed.
+        """
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ConfigurationError(
+                f"optimizer state is for {kind!r}, not {type(self).__name__}"
+            )
+        self.lr = float(state["lr"])
+
+    def _check_slots(self, arrays: list[np.ndarray], label: str) -> None:
+        if len(arrays) != len(self.parameters):
+            raise ConfigurationError(
+                f"optimizer state has {len(arrays)} {label} slots for "
+                f"{len(self.parameters)} parameters"
+            )
+        for array, p in zip(arrays, self.parameters):
+            if array.shape != p.data.shape:
+                raise ConfigurationError(
+                    f"optimizer {label} shape {array.shape} does not match "
+                    f"parameter shape {p.data.shape}"
+                )
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -63,6 +103,17 @@ class SGD(Optimizer):
             else:
                 update = grad
             p.data = p.data - self.lr * update
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        velocity = [np.asarray(v) for v in state["velocity"]]
+        self._check_slots(velocity, "velocity")
+        self._velocity = velocity
 
 
 class Adam(Optimizer):
@@ -105,6 +156,23 @@ class Adam(Optimizer):
             v_hat = v / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["t"] = self._t
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        m = [np.asarray(a) for a in state["m"]]
+        v = [np.asarray(a) for a in state["v"]]
+        self._check_slots(m, "m")
+        self._check_slots(v, "v")
+        self._m = m
+        self._v = v
+        self._t = int(state["t"])
+
 
 class StepLR:
     """Step learning-rate schedule: multiply lr by ``gamma`` every
@@ -122,3 +190,9 @@ class StepLR:
         self._epoch += 1
         if self._epoch % self.step_size == 0:
             self.optimizer.lr *= self.gamma
+
+    def state_dict(self) -> dict:
+        return {"epoch": self._epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._epoch = int(state["epoch"])

@@ -23,6 +23,7 @@ Two levels of API:
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 
@@ -30,6 +31,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.layers import Module
+from repro.utils.atomic import atomic_write_bytes
 
 _META_KEY = "__checkpoint_meta__"
 _SPEC_KEY = "model_spec"
@@ -54,6 +56,9 @@ def save_checkpoint(
 
     ``metadata`` (JSON-serializable) travels with the checkpoint — use it
     for the SCConfig, scale, and accuracy of the run.
+
+    The write is atomic (tmp + fsync + replace, RPR006): a crash while
+    re-saving can never tear an existing checkpoint.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -69,8 +74,9 @@ def save_checkpoint(
     payload[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **payload)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    atomic_write_bytes(path, buffer.getvalue())
     return path
 
 

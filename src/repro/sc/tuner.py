@@ -45,6 +45,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.obs import get_registry
 from repro.sc.kernels import DEFAULT_SLAB_BYTES, ExecPlan
+from repro.utils.atomic import atomic_write_json
 
 __all__ = [
     "CACHE_VERSION",
@@ -164,11 +165,8 @@ class PlanCache:
             "kernel_hash": kernel_code_hash(),
             "plans": {k: v.to_dict() for k, v in self._plans.items()},
         }
-        tmp = self._path.with_suffix(".tmp")
         try:
-            self._path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(record, indent=2, sort_keys=True))
-            tmp.replace(self._path)
+            atomic_write_json(self._path, record)
         except OSError:
             # A read-only HOME must not break inference; plans simply
             # stay in-process.

@@ -6,10 +6,22 @@ paper's SC-forward / FP-backward methodology.
 """
 
 from repro.scnn.config import SCConfig, TABLE1_CONFIGS
+from repro.scnn.ckpt import (
+    clear_resume_marker,
+    load_rng_state,
+    load_train_checkpoint,
+    read_resume_marker,
+    restore_train_checkpoint,
+    rng_state_dict,
+    save_train_checkpoint,
+    write_resume_marker,
+)
 from repro.scnn.layers import (
     SCConv2d,
     SCLinear,
     SCModule,
+    capture_sc_values,
+    inject_sc_values,
     set_engine,
     set_num_workers,
     set_simulation,
@@ -17,6 +29,7 @@ from repro.scnn.layers import (
     straight_through,
     swap_config,
 )
+from repro.scnn.pool import MinibatchPool
 from repro.scnn.sim import (
     SCConvSimulator,
     SCLinearSimulator,
@@ -26,7 +39,11 @@ from repro.scnn.sim import (
 )
 from repro.scnn.train import (
     TrainResult,
+    clear_preemption,
     evaluate,
+    preemption_requested,
+    preemption_signals,
+    request_preemption,
     run_length_double_check,
     train_model,
 )
@@ -38,6 +55,9 @@ __all__ = [
     "SCConv2d",
     "SCLinear",
     "SCModule",
+    "MinibatchPool",
+    "capture_sc_values",
+    "inject_sc_values",
     "set_engine",
     "set_num_workers",
     "set_simulation",
@@ -50,9 +70,21 @@ __all__ = [
     "stream_table",
     "table_cache_stats",
     "TrainResult",
+    "clear_preemption",
+    "clear_resume_marker",
     "evaluate",
+    "load_rng_state",
+    "load_train_checkpoint",
+    "preemption_requested",
+    "preemption_signals",
+    "read_resume_marker",
+    "request_preemption",
+    "restore_train_checkpoint",
+    "rng_state_dict",
     "run_length_double_check",
+    "save_train_checkpoint",
     "train_model",
+    "write_resume_marker",
     "EvalReport",
     "compare_arms",
     "evaluate_detailed",

@@ -1,0 +1,279 @@
+"""Atomic training checkpoints with bit-identical resume.
+
+A training run killed at any point — worker crash, SIGTERM preemption,
+power cut — must restart and produce **exactly** the weights, losses,
+and accuracies of an uninterrupted run. That requires capturing more
+than the model parameters:
+
+* **model state** — parameters *and* buffers (batch-norm running
+  statistics), via :meth:`~repro.nn.layers.Module.state_dict`;
+* **optimizer state** — ADAM first/second moments and the bias
+  -correction step count, plus the current (possibly schedule-decayed)
+  learning rate (:meth:`~repro.nn.optim.Adam.state_dict`);
+* **scheduler state** — the :class:`~repro.nn.optim.StepLR` epoch
+  counter;
+* **loader position** — epoch and batch cursor of the
+  :class:`~repro.nn.data.DataLoader`, whose shuffle is a pure function
+  of ``(seed, epoch)`` so two integers replay the interrupted epoch;
+* **derived RNG state** — every :class:`~repro.nn.layers.Dropout`
+  generator's bit-generator state and every SC simulator's
+  ``call_index`` (the cursor TRNG stream draws advance on), collected
+  by :func:`rng_state_dict`;
+* **history** — loss/accuracy curves and the partial-epoch
+  accumulators, carried as opaque user metadata.
+
+The on-disk format mirrors :mod:`repro.nn.serialize`: one ``.npz``
+archive with arrays flattened under ``model.`` / ``optim.`` prefixes
+and a JSON metadata blob under ``__train_meta__``. The archive is
+serialized to memory first and written with
+:func:`repro.utils.atomic.atomic_write_bytes` (tmp + fsync + replace),
+so readers only ever see a complete previous or complete new
+checkpoint — never a torn one (lint rule RPR006).
+
+A *resume marker* is a small JSON sidecar written when a run is
+preempted cleanly (SIGTERM/SIGINT); the next invocation reads it to
+distinguish "resume this run" from "start fresh".
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.data import DataLoader
+from repro.nn.layers import Dropout, Module
+from repro.nn.optim import Optimizer, StepLR
+from repro.scnn.layers import SCModule
+from repro.utils.atomic import atomic_write_bytes, atomic_write_json
+
+#: Training-checkpoint archive format version.
+CKPT_VERSION = 1
+
+_META_KEY = "__train_meta__"
+_MODEL_PREFIX = "model."
+_OPTIM_PREFIX = "optim."
+
+
+# -- derived RNG state --------------------------------------------------------
+
+
+def rng_state_dict(model: Module) -> dict:
+    """Collect every derived RNG cursor reachable from ``model``.
+
+    Keys are ``"{traversal_index}:{ClassName}"`` — stable because
+    :meth:`~repro.nn.layers.Module.modules` walks attribute insertion
+    order, which is fixed by the model's ``__init__``. Dropout entries
+    hold the numpy bit-generator state dict; SC entries hold the
+    simulator call index.
+    """
+    state: dict = {}
+    for index, module in enumerate(model.modules()):
+        key = f"{index}:{type(module).__name__}"
+        if isinstance(module, Dropout):
+            state[key] = {"rng": module._rng.bit_generator.state}
+        elif isinstance(module, SCModule):
+            state[key] = {"call_index": module.simulator.call_index}
+    return state
+
+
+def load_rng_state(model: Module, state: dict) -> None:
+    """Restore a :func:`rng_state_dict` capture into ``model``.
+
+    Strict: the capture must describe exactly this architecture — a
+    missing or extra entry means the checkpoint belongs to a different
+    model, and a silent partial restore would *train*, just not the run
+    that was checkpointed.
+    """
+    expected = rng_state_dict(model)
+    if set(state) != set(expected):
+        missing = sorted(set(expected) - set(state))
+        extra = sorted(set(state) - set(expected))
+        raise ConfigurationError(
+            "RNG state does not match the model: "
+            f"missing={missing} extra={extra}"
+        )
+    for index, module in enumerate(model.modules()):
+        key = f"{index}:{type(module).__name__}"
+        if isinstance(module, Dropout):
+            module._rng.bit_generator.state = state[key]["rng"]
+        elif isinstance(module, SCModule):
+            module.simulator.set_call_index(int(state[key]["call_index"]))
+
+
+# -- optimizer array flattening ----------------------------------------------
+
+
+def _split_optimizer_state(opt_state: dict) -> tuple[dict, dict]:
+    """Separate array lists (→ npz) from JSON-safe scalars (→ meta)."""
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {}
+    for key, value in opt_state.items():
+        if (
+            isinstance(value, list)
+            and value
+            and all(isinstance(item, np.ndarray) for item in value)
+        ):
+            for i, item in enumerate(value):
+                arrays[f"{_OPTIM_PREFIX}{key}.{i}"] = item
+            meta[key] = {"__arrays__": len(value)}
+        else:
+            meta[key] = value
+    return arrays, meta
+
+
+def _join_optimizer_state(arrays: dict, meta: dict) -> dict:
+    state: dict = {}
+    for key, value in meta.items():
+        if isinstance(value, dict) and "__arrays__" in value:
+            count = int(value["__arrays__"])
+            state[key] = [
+                arrays[f"{_OPTIM_PREFIX}{key}.{i}"] for i in range(count)
+            ]
+        else:
+            state[key] = value
+    return state
+
+
+# -- save / load --------------------------------------------------------------
+
+
+def save_train_checkpoint(
+    path: "str | Path",
+    model: Module,
+    optimizer: Optimizer,
+    scheduler: StepLR | None = None,
+    loader: DataLoader | None = None,
+    fingerprint: dict | None = None,
+    user: dict | None = None,
+) -> Path:
+    """Atomically write a complete training checkpoint to ``path``.
+
+    ``fingerprint`` identifies the run configuration (epochs, batch
+    size, lr, seed, …); :func:`restore_train_checkpoint` refuses to
+    resume under a different fingerprint. ``user`` carries run history
+    (loss curves, partial-epoch accumulators) verbatim.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        f"{_MODEL_PREFIX}{key}": value
+        for key, value in model.state_dict().items()
+    }
+    opt_arrays, opt_meta = _split_optimizer_state(optimizer.state_dict())
+    arrays.update(opt_arrays)
+    meta = {
+        "version": CKPT_VERSION,
+        "fingerprint": fingerprint or {},
+        "optimizer": opt_meta,
+        "scheduler": scheduler.state_dict() if scheduler is not None else None,
+        "loader": loader.state_dict() if loader is not None else None,
+        "rng": rng_state_dict(model),
+        "user": user or {},
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    atomic_write_bytes(path, buffer.getvalue())
+    return path
+
+
+def load_train_checkpoint(path: "str | Path") -> tuple[dict, dict]:
+    """Read a checkpoint; returns ``(arrays, meta)`` without touching
+    any model. ``arrays`` keeps the ``model.`` / ``optim.`` prefixes."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"training checkpoint not found: {path}")
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ConfigurationError(
+                f"{path} is not a training checkpoint (missing metadata)"
+            )
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        if meta.get("version") != CKPT_VERSION:
+            raise ConfigurationError(
+                f"unsupported training-checkpoint version "
+                f"{meta.get('version')}"
+            )
+        arrays = {
+            key: archive[key] for key in archive.files if key != _META_KEY
+        }
+    return arrays, meta
+
+
+def restore_train_checkpoint(
+    path: "str | Path",
+    model: Module,
+    optimizer: Optimizer,
+    scheduler: StepLR | None = None,
+    loader: DataLoader | None = None,
+    expected_fingerprint: dict | None = None,
+) -> dict:
+    """Load a checkpoint back into live training objects.
+
+    Returns the checkpoint's ``user`` metadata (run history). Raises
+    :class:`~repro.errors.ConfigurationError` when
+    ``expected_fingerprint`` differs from the stored one — resuming a
+    run under different hyperparameters would silently produce a third,
+    unrelated training trajectory.
+    """
+    arrays, meta = load_train_checkpoint(path)
+    if expected_fingerprint is not None:
+        stored = meta.get("fingerprint") or {}
+        if stored != expected_fingerprint:
+            diff = {
+                key: (stored.get(key), expected_fingerprint.get(key))
+                for key in set(stored) | set(expected_fingerprint)
+                if stored.get(key) != expected_fingerprint.get(key)
+            }
+            raise ConfigurationError(
+                f"checkpoint fingerprint mismatch (stored vs requested): {diff}"
+            )
+    model_state = {
+        key.removeprefix(_MODEL_PREFIX): value
+        for key, value in arrays.items()
+        if key.startswith(_MODEL_PREFIX)
+    }
+    model.load_state_dict(model_state, strict=True)
+    optimizer.load_state_dict(
+        _join_optimizer_state(arrays, meta.get("optimizer") or {})
+    )
+    if scheduler is not None and meta.get("scheduler") is not None:
+        scheduler.load_state_dict(meta["scheduler"])
+    if loader is not None and meta.get("loader") is not None:
+        loader.load_state_dict(meta["loader"])
+    load_rng_state(model, meta.get("rng") or {})
+    return meta.get("user", {})
+
+
+# -- resume markers -----------------------------------------------------------
+
+
+def resume_marker_path(ckpt_path: "str | Path") -> Path:
+    """Sidecar marker path for a checkpoint (``<name>.resume.json``)."""
+    ckpt_path = Path(ckpt_path)
+    return ckpt_path.with_name(ckpt_path.name + ".resume.json")
+
+
+def write_resume_marker(
+    ckpt_path: "str | Path", reason: str, detail: dict | None = None
+) -> Path:
+    """Record a clean interruption next to its checkpoint (atomic)."""
+    payload = {"reason": reason, "detail": detail or {}}
+    return atomic_write_json(resume_marker_path(ckpt_path), payload)
+
+
+def read_resume_marker(ckpt_path: "str | Path") -> dict | None:
+    """The marker payload, or ``None`` when the run finished cleanly."""
+    marker = resume_marker_path(ckpt_path)
+    if not marker.exists():
+        return None
+    return json.loads(marker.read_text())
+
+
+def clear_resume_marker(ckpt_path: "str | Path") -> None:
+    resume_marker_path(ckpt_path).unlink(missing_ok=True)

@@ -13,8 +13,12 @@ whole point of Fig. 1.
 
 from __future__ import annotations
 
+import contextlib
+import threading
+
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.layers import Module
@@ -32,6 +36,85 @@ def straight_through(y_fp: Tensor, y_sc: np.ndarray) -> Tensor:
             y_fp._accumulate(grad)
 
     return Tensor._make(data, (y_fp,), backward)
+
+
+# -- SC value capture / injection (pooled minibatch execution) ---------------
+#
+# The SC forward is expensive; the FP forward and the backward pass are
+# cheap. The minibatch pool (:mod:`repro.scnn.pool`) offloads the SC
+# part to worker processes: the worker runs a full simulated forward
+# under ``capture_sc_values`` (recording each SC layer's bit-true
+# output, in traversal order), and the parent re-runs only the FP
+# forward under ``inject_sc_values`` (substituting those outputs into
+# the straight-through estimator, and advancing each simulator's call
+# index exactly as if it had simulated locally). Because worker and
+# parent start the batch from identical shipped state, the injected
+# forward is bit-identical to an in-process simulated forward — pooled
+# and in-process training produce the same weights.
+
+_sc_tap = threading.local()
+
+
+@contextlib.contextmanager
+def capture_sc_values():
+    """Record each SC layer's simulated output during forwards.
+
+    Yields a list that fills with ``np.ndarray`` values in layer
+    traversal order (one entry per SC-layer forward executed inside the
+    ``with`` block).
+    """
+    captured: list[np.ndarray] = []
+    _sc_tap.mode = "capture"
+    _sc_tap.values = captured
+    try:
+        yield captured
+    finally:
+        _sc_tap.mode = None
+        _sc_tap.values = None
+
+
+@contextlib.contextmanager
+def inject_sc_values(values):
+    """Substitute pre-computed SC outputs instead of simulating.
+
+    ``values`` must be the list captured by :func:`capture_sc_values`
+    for the *same* model state and input; they are consumed in order.
+    Each injection still advances the local simulator's call index
+    (:meth:`~repro.scnn.sim.SCConvSimulator.skip_call`) so subsequent
+    in-process forwards stay bit-identical to a never-pooled run.
+    Exiting the block verifies every value was consumed.
+    """
+    pending = list(values)
+    _sc_tap.mode = "inject"
+    _sc_tap.values = pending
+    try:
+        yield
+        if pending:
+            raise ConfigurationError(
+                f"{len(pending)} injected SC value(s) left unconsumed — "
+                "model disagrees with the capturing forward"
+            )
+    finally:
+        _sc_tap.mode = None
+        _sc_tap.values = None
+
+
+def _sc_value(module: "SCModule", x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """One SC-layer output, honouring any active capture/inject tap."""
+    mode = getattr(_sc_tap, "mode", None)
+    if mode == "inject":
+        if not _sc_tap.values:
+            raise ConfigurationError(
+                "ran out of injected SC values — model disagrees with "
+                "the capturing forward"
+            )
+        y_sc = _sc_tap.values.pop(0)
+        module.simulator.skip_call()
+        return y_sc
+    y_sc = module.simulator(x, w)
+    if mode == "capture":
+        _sc_tap.values.append(y_sc)
+    return y_sc
 
 
 class SCModule(Module):
@@ -96,7 +179,7 @@ class SCConv2d(SCModule):
         y_fp = F.conv2d(x_c, w_c, stride=self.stride, padding=self.padding)
         if not self.simulate:
             return y_fp
-        y_sc = self.simulator(x_c.data, w_c.data)
+        y_sc = _sc_value(self, x_c.data, w_c.data)
         return straight_through(y_fp, y_sc)
 
 
@@ -136,7 +219,7 @@ class SCLinear(SCModule):
         y_fp = F.linear(x_c, w_c)
         if not self.simulate:
             return y_fp
-        y_sc = self.simulator(x_c.data, w_c.data)
+        y_sc = _sc_value(self, x_c.data, w_c.data)
         return straight_through(y_fp, y_sc)
 
 

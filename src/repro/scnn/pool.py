@@ -1,0 +1,191 @@
+"""Crash-surviving pooled minibatch execution for SC training.
+
+The simulated-SC forward dominates training time, so it is the part
+worth pushing onto the supervised worker pool
+(:class:`~repro.serve.backend.ProcessPoolBackend`) — and also the part
+most exposed to faults: a worker that crashes, wedges, or corrupts its
+result mid-epoch must not lose the run. The contract here is strict:
+
+* **bit-identical** — a pooled run and an in-process run produce the
+  same weights. Each batch ships the model's complete mutable state
+  (parameters, buffers, dropout RNG state, simulator call indices) to
+  whichever worker picks it up; the worker runs a training-mode
+  simulated forward under
+  :func:`~repro.scnn.layers.capture_sc_values` and returns each SC
+  layer's bit-true output. The trainer then re-runs the (cheap) FP
+  forward under :func:`~repro.scnn.layers.inject_sc_values`, which
+  substitutes those outputs into the straight-through estimator and
+  advances local RNG cursors exactly as if the simulation had run
+  in-process.
+* **crash-surviving** — a retryable worker failure
+  (:class:`~repro.errors.WorkerCrashError` /
+  :class:`~repro.errors.WorkerTimeoutError` /
+  :class:`~repro.errors.ResultCorruptionError`) re-runs the batch on a
+  healthy worker via :func:`repro.utils.retry.call_with_retry`; because
+  state is re-shipped per batch, a freshly respawned worker is
+  automatically consistent. Determinism makes the retry free: the
+  recomputed result is the result.
+* **gracefully degrading** — if retries exhaust, the batch falls back
+  to in-process simulation (``sc_values`` returns ``None``) and the run
+  continues; ``degrade_after`` consecutive exhausted batches retire the
+  pool for the rest of the run rather than paying timeouts forever.
+
+Under the 5 % injected-crash regime of
+``benchmarks/bench_train_resilience.py`` this machinery loses zero runs
+and zero batches, and the final weights match the fault-free run bit
+for bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro import obs
+from repro.errors import (
+    ResultCorruptionError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.nn.layers import Module
+from repro.scnn.ckpt import rng_state_dict
+from repro.serve.backend import ProcessPoolBackend
+from repro.serve.registry import ModelEntry
+from repro.utils.chaos import ChaosConfig
+from repro.utils.retry import RetryPolicy, call_with_retry
+
+#: Worker failures worth re-running a minibatch for — recomputation is
+#: deterministic, so a healthy worker's answer *is* the answer.
+RETRYABLE_ERRORS = (
+    WorkerCrashError,
+    WorkerTimeoutError,
+    ResultCorruptionError,
+)
+
+#: Registry name the training model is cached under in pool workers.
+TRAIN_ENTRY_NAME = "__train__"
+
+
+class MinibatchPool:
+    """Supervised worker pool executing SC training forwards.
+
+    Wraps one :class:`~repro.serve.backend.ProcessPoolBackend` (its
+    heartbeat/respawn supervision included) around a single training
+    model. Use as a context manager::
+
+        with MinibatchPool(model, input_shape=(1, 8, 8)) as pool:
+            values = pool.sc_values(batch)   # None -> simulate locally
+
+    ``sc_values`` never raises for worker faults — it returns ``None``
+    when the pool cannot produce the batch, and the caller simulates
+    in-process (bit-identical either way).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        input_shape: tuple[int, ...],
+        num_workers: int = 2,
+        chaos: ChaosConfig | None = None,
+        retry: RetryPolicy | None = None,
+        batch_timeout_s: float = 120.0,
+        degrade_after: int = 3,
+        seed: int = 0,
+        start_method: str | None = None,
+    ):
+        self.model = model
+        self.entry = ModelEntry(
+            name=TRAIN_ENTRY_NAME,
+            model=model,
+            input_shape=tuple(input_shape),
+            sc_config=None,
+            tiers=[{}],
+        )
+        self.retry = retry or RetryPolicy()
+        self.batch_timeout_s = batch_timeout_s
+        self.degrade_after = degrade_after
+        self.degraded = False
+        self._consecutive_failures = 0
+        self._jitter_rng = random.Random(seed)
+        self.counters = {
+            "batches": 0,
+            "pooled": 0,
+            "retries": 0,
+            "fallbacks": 0,
+        }
+        self.backend = ProcessPoolBackend(
+            num_workers=num_workers,
+            chaos=chaos,
+            start_method=start_method,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MinibatchPool":
+        self.backend.start()
+        return self
+
+    def stop(self) -> None:
+        self.backend.stop()
+
+    def __enter__(self) -> "MinibatchPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- execution -----------------------------------------------------------
+
+    def sc_values(self, batch: np.ndarray) -> "list[np.ndarray] | None":
+        """Captured SC-layer outputs for one minibatch, or ``None``.
+
+        ``None`` means the pool could not produce this batch (retries
+        exhausted, or the pool has degraded) — the caller must simulate
+        in-process. Worker faults are retried transparently; shipping
+        the full model state per batch makes any healthy worker — new,
+        old, or freshly respawned — an equally correct executor.
+        """
+        self.counters["batches"] += 1
+        if self.degraded:
+            self.counters["fallbacks"] += 1
+            return None
+        payload = {
+            "model": self.model.state_dict(),
+            "rng": rng_state_dict(self.model),
+        }
+
+        def on_retry(error, attempt, delay):
+            self.counters["retries"] += 1
+            obs.counter("train.pool_retries").add(1)
+
+        try:
+            values = call_with_retry(
+                lambda: self.backend.run_train(
+                    self.entry,
+                    batch,
+                    payload,
+                    timeout_s=self.batch_timeout_s,
+                ),
+                self.retry,
+                retry_on=RETRYABLE_ERRORS,
+                rng=self._jitter_rng,
+                on_retry=on_retry,
+            )
+        except RETRYABLE_ERRORS:
+            self._consecutive_failures += 1
+            self.counters["fallbacks"] += 1
+            obs.counter("train.pool_fallbacks").add(1)
+            if self._consecutive_failures >= self.degrade_after:
+                self.degraded = True
+            return None
+        self._consecutive_failures = 0
+        self.counters["pooled"] += 1
+        return values
+
+    def stats(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            **self.counters,
+            "backend": self.backend.stats(),
+        }

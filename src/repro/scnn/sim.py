@@ -305,6 +305,41 @@ class SCConvSimulator:
     def plan(self) -> SeedPlan:
         return self._state.plan
 
+    # -- call-index state (checkpointing / replicated execution) -------------
+
+    @property
+    def call_index(self) -> int:
+        """Number of forwards drawn so far — the only mutable RNG cursor.
+
+        TRNG sources derive their stream from ``(layer_index,
+        call_index)``, so two simulators with equal config and equal
+        call index produce bit-identical forwards. Training checkpoints
+        persist this (:mod:`repro.scnn.ckpt`), and the minibatch pool
+        ships it to workers so a respawned worker replays the exact
+        draw the crashed one was making.
+        """
+        with self._lock:
+            return self._call_index
+
+    def set_call_index(self, value: int) -> None:
+        if value < 0:
+            raise ConfigurationError(
+                f"call_index must be >= 0, got {value}"
+            )
+        with self._lock:
+            self._call_index = int(value)
+
+    def skip_call(self) -> None:
+        """Advance the call index without running a forward.
+
+        Used when a forward's SC values were computed elsewhere (a pool
+        worker) and injected: the local cursor must advance exactly as
+        if the forward had run here, so a later in-process forward draws
+        the same streams either way.
+        """
+        with self._lock:
+            self._call_index += 1
+
     def __getstate__(self) -> dict:
         """Pickle support: drop the (unpicklable) reconfigure lock.
 
@@ -566,6 +601,16 @@ class SCLinearSimulator:
     def reconfigure(self, **kwargs) -> None:
         """Update execution knobs on the folded convolution simulator."""
         self._conv.reconfigure(**kwargs)
+
+    @property
+    def call_index(self) -> int:
+        return self._conv.call_index
+
+    def set_call_index(self, value: int) -> None:
+        self._conv.set_call_index(value)
+
+    def skip_call(self) -> None:
+        self._conv.skip_call()
 
     def __call__(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """``x``: (N, F) in [0,1]; ``weight``: (Fout, F) in [-1,1]."""

@@ -194,6 +194,15 @@ def _worker_main(conn, worker_id: int, chaos_payload: dict | None) -> None:
       timeline) for the parent to merge into its trace. Untraced
       requests keep the 3-tuple wire format — tracing costs nothing
       when off;
+    * ``("train", name, batch, state)`` → ``("train_ok", values)`` —
+      the training-forward variant used by
+      :class:`repro.scnn.pool.MinibatchPool`: restore the shipped
+      parameter/buffer state and derived RNG state into the cached
+      model, run one *training-mode* simulated forward under
+      :func:`~repro.scnn.layers.capture_sc_values`, and answer with the
+      captured per-SC-layer outputs. Shipping the full state each batch
+      means a freshly respawned worker is automatically consistent —
+      there is no separate weight-sync protocol to get wrong;
     * ``("ping", n)`` → ``("pong", n)`` — supervisor heartbeat;
     * ``("stop",)`` / EOF — exit cleanly.
 
@@ -229,6 +238,42 @@ def _worker_main(conn, worker_id: int, chaos_payload: dict | None) -> None:
             _, name, model, tiers = message
             models[name] = [model, tiers, None]
             conn.send(("loaded", name))
+            continue
+        if kind == "train":
+            _, name, batch, state_payload = message
+            task_index += 1
+            action = chaos.decide(worker_id, task_index) if chaos else "none"
+            if action == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if action == "stall":
+                time.sleep(chaos.stall_s)
+            state = models.get(name)
+            if state is None:
+                conn.send(
+                    (
+                        "error",
+                        UnknownModelError(f"{name!r} not loaded in worker"),
+                    )
+                )
+                continue
+            model = state[0]
+            try:
+                from repro.scnn.ckpt import load_rng_state
+                from repro.scnn.layers import capture_sc_values
+
+                model.load_state_dict(state_payload["model"], strict=True)
+                load_rng_state(model, state_payload["rng"])
+                model.train()
+                with no_grad(), capture_sc_values() as values:
+                    model(Tensor(np.ascontiguousarray(batch)))
+                if action == "corrupt" and values:
+                    values[0] = np.full_like(values[0], np.nan)
+                conn.send(("train_ok", list(values)))
+            except Exception as error:  # noqa: BLE001 - shipped to parent
+                try:
+                    conn.send(("error", error))
+                except Exception:  # unpicklable exception: ship the repr
+                    conn.send(("error", ServeError(repr(error))))
             continue
         if kind != "run":  # pragma: no cover - protocol guard
             conn.send(("error", ServeError(f"unknown message {kind!r}")))
@@ -773,6 +818,57 @@ class ProcessPoolBackend(ExecutionBackend):
                     epoch_wall=extra.get("epoch_wall"),
                 )
             return logits, reply[2]
+        finally:
+            self._release(handle, healthy)
+
+    def run_train(
+        self,
+        entry: ModelEntry,
+        batch: np.ndarray,
+        state_payload: dict,
+        timeout_s: float | None = None,
+    ) -> list[np.ndarray]:
+        """One training-mode SC forward on a pool worker.
+
+        ``state_payload`` is ``{"model": state_dict, "rng":
+        rng_state_dict}`` — the complete mutable state the forward
+        depends on. Returns the captured per-SC-layer outputs (see
+        :func:`repro.scnn.layers.capture_sc_values`), validated finite.
+        Crashes, timeouts, and corrupt results raise the same retryable
+        errors as :meth:`run`.
+        """
+        handle = self._acquire()
+        healthy = False
+        try:
+            if entry.name not in handle.loaded:
+                self._load_into(handle, entry)
+            with self._cond:
+                self._known_models.setdefault(entry.name, entry)
+            handle.conn.send(("train", entry.name, batch, state_payload))
+            reply = self._recv(handle, timeout_s)
+            kind = reply[0]
+            if kind == "error":
+                healthy = True  # worker answered; it is fine
+                error = reply[1]
+                raise error if isinstance(error, Exception) else ServeError(
+                    str(error)
+                )
+            if kind != "train_ok":
+                raise WorkerCrashError(
+                    f"worker {handle.id} broke protocol: {reply[0]!r}"
+                )
+            values = [np.asarray(value) for value in reply[1]]
+            for value in values:
+                if not np.isfinite(value).all():
+                    raise ResultCorruptionError(
+                        f"worker {handle.id} returned non-finite SC "
+                        f"values for {entry.name!r}"
+                    )
+            healthy = True
+            handle.tasks += 1
+            with self._cond:
+                self.counters["tasks"] += 1
+            return values
         finally:
             self._release(handle, healthy)
 

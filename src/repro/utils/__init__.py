@@ -1,6 +1,13 @@
-"""Shared low-level utilities: bit packing, seeding, worker pools, and
-report printing."""
+"""Shared low-level utilities: bit packing, seeding, worker pools,
+atomic persistence, deterministic chaos injection, retry, and report
+printing."""
 
+from repro.utils.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_append,
+)
 from repro.utils.bitops import (
     HAS_NATIVE_POPCOUNT,
     pack_bits,
@@ -19,11 +26,19 @@ from repro.utils.parallel import (
     shutdown_pool,
     submit,
 )
+from repro.utils.chaos import ACTIONS, CRASH_EXIT_CODE, ChaosConfig
 from repro.utils.retry import RetryPolicy, call_with_retry
 from repro.utils.seeding import SeedSequenceFactory, derive_seed
 from repro.utils.report import Table, format_ratio
 
 __all__ = [
+    "ACTIONS",
+    "CRASH_EXIT_CODE",
+    "ChaosConfig",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_append",
     "HAS_NATIVE_POPCOUNT",
     "pack_bits",
     "unpack_bits",

@@ -1,0 +1,148 @@
+"""Deterministic chaos injection for execution workers (serving *and*
+training).
+
+The paper's pitch for stochastic computing is error tolerance, and
+:mod:`repro.sc.faults` already shows graceful degradation when *stream
+bits* flip. This module extends the claim to *runtime* faults: a
+:class:`ChaosConfig` injects worker crashes, stalls, and corrupted
+results into an execution backend at configured rates. The chaos
+benchmark (``benchmarks/bench_chaos.py``) asserts the service keeps
+answering well-formed requests while that is happening, and the
+training-resilience benchmark (``benchmarks/bench_train_resilience.py``)
+asserts a training run under the same injection loses nothing and
+reproduces the fault-free run's weights bit for bit.
+
+Determinism is the whole point — a chaos run that cannot be replayed
+cannot be debugged. Every injection decision is a pure function of
+``(seed, worker_id, task_index)``; re-running the same workload against
+the same seed crashes the same workers at the same tasks, whether the
+decision is evaluated in the parent process (in-thread backend) or
+inside a pool worker (process backend).
+
+Actions per task, evaluated in this order from one uniform draw:
+
+* ``crash``   — the worker dies mid-batch (``os._exit`` in a process
+  worker; a :class:`~repro.errors.WorkerCrashError` in-thread);
+* ``stall``   — the worker sleeps ``stall_s`` before answering (models
+  a wedged/overloaded worker; long stalls trip the batch timeout);
+* ``corrupt`` — the result comes back as NaNs (models a torn buffer;
+  backend validation turns it into a retryable
+  :class:`~repro.errors.ResultCorruptionError`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Injection decisions a :meth:`ChaosConfig.decide` call can return.
+ACTIONS = ("none", "crash", "stall", "corrupt")
+
+#: Exit code a chaos-crashed process worker dies with (distinctive in
+#: supervisor logs / ``Process.exitcode``).
+CRASH_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault-injection rates for one backend (all rates per task)."""
+
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    stall_s: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("crash_rate", "stall_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.crash_rate + self.stall_rate + self.corrupt_rate > 1.0:
+            raise ConfigurationError("chaos rates must sum to <= 1")
+        if self.stall_s < 0:
+            raise ConfigurationError(f"stall_s must be >= 0, got {self.stall_s}")
+
+    @property
+    def active(self) -> bool:
+        return (self.crash_rate + self.stall_rate + self.corrupt_rate) > 0.0
+
+    def decide(self, worker_id: int, task_index: int) -> str:
+        """Injection decision for one task — pure and replayable.
+
+        The uniform draw comes from a ``random.Random`` seeded with an
+        integer mix of ``(seed, worker_id, task_index)`` (explicit
+        arithmetic, not ``hash()``, so the decision is identical across
+        processes regardless of hash randomization).
+        """
+        if not self.active:
+            return "none"
+        mixed = (
+            (self.seed & 0xFFFFFFFF) * 1_000_003
+            + worker_id * 8_191
+            + task_index
+        )
+        draw = random.Random(mixed).random()
+        if draw < self.crash_rate:
+            return "crash"
+        if draw < self.crash_rate + self.stall_rate:
+            return "stall"
+        if draw < self.crash_rate + self.stall_rate + self.corrupt_rate:
+            return "corrupt"
+        return "none"
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "crash_rate": self.crash_rate,
+            "stall_rate": self.stall_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "stall_s": self.stall_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosConfig":
+        return cls(**payload)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Build from a CLI spec like ``crash=0.05,stall=0.05,stall_ms=80``.
+
+        Keys: ``crash`` / ``stall`` / ``corrupt`` (rates in [0,1]),
+        ``stall_ms`` (stall duration), ``seed``. Unknown keys raise.
+        """
+        config = cls()
+        if not spec.strip():
+            return config
+        for part in spec.split(","):
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"chaos spec entries must be key=value, got {part!r}"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            try:
+                if key == "crash":
+                    config = replace(config, crash_rate=float(value))
+                elif key == "stall":
+                    config = replace(config, stall_rate=float(value))
+                elif key == "corrupt":
+                    config = replace(config, corrupt_rate=float(value))
+                elif key == "stall_ms":
+                    config = replace(config, stall_s=float(value) / 1e3)
+                elif key == "seed":
+                    config = replace(config, seed=int(value))
+                else:
+                    raise ConfigurationError(
+                        f"unknown chaos key {key!r} "
+                        "(known: crash, stall, corrupt, stall_ms, seed)"
+                    )
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"bad chaos value for {key!r}: {value!r}"
+                ) from error
+        return config

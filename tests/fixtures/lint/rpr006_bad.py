@@ -1,0 +1,24 @@
+"""RPR006 fixture: non-atomic writes of persistent state files."""
+
+import json
+
+import numpy as np
+
+
+def save_plans(path, plans):
+    path.write_text(json.dumps(plans))
+
+
+def save_checkpoint(path, arrays):
+    np.savez_compressed(path, **arrays)
+
+
+def persist_record(path, record):
+    with open(path, "w") as fh:
+        json.dump(record, fh)
+
+
+def save_atomic(path, payload):
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(path)

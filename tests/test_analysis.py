@@ -1,4 +1,4 @@
-"""Tests for the repro.analysis invariant linter (RPR001-RPR005)."""
+"""Tests for the repro.analysis invariant linter (RPR001-RPR006)."""
 
 import json
 import subprocess
@@ -76,6 +76,15 @@ def test_rpr005_roundtrip_parity(fixture_report):
     ]
 
 
+def test_rpr006_non_atomic_state_write(fixture_report):
+    assert codes_and_lines(fixture_report, "RPR006") == [
+        ("RPR006", 9),
+        ("RPR006", 13),
+        ("RPR006", 17),
+        ("RPR006", 18),
+    ]
+
+
 def test_clean_fixture_has_no_findings(fixture_report):
     assert not any(
         f.path.endswith("clean.py") for f in fixture_report.findings
@@ -115,7 +124,9 @@ def test_findings_sorted_and_stable(fixture_report):
 
 def test_rule_registry_complete():
     codes = [rule.code for rule in iter_rules()]
-    assert codes == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+    assert codes == [
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+    ]
 
 
 def test_src_tree_is_clean():

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.arch.sweep import DesignPoint, best_under_area, pareto_frontier, sweep
+from repro.arch.sweep import (
+    DesignPoint,
+    best_under_area,
+    pareto_frontier,
+    read_sweep_journal,
+    sweep,
+)
 from repro.errors import ConfigurationError
 from repro.models.cnn4 import cnn4_sc
 from repro.models.shapes import cnn4_shapes
@@ -250,3 +256,72 @@ class TestSweep:
         assert a.dominates(b)
         assert not b.dominates(a)
         assert not a.dominates(a)
+
+
+class TestSweepJournal:
+    """Resumable sweeps: the JSONL journal makes killed sweeps cheap."""
+
+    GRID = dict(
+        rows_options=(16, 32),
+        row_width_options=(400,),
+        stream_options=((16, 32), (32, 64)),
+    )
+
+    def test_journalled_sweep_matches_plain(self, tmp_path):
+        layers = cnn4_shapes(32)
+        plain = sweep(layers, **self.GRID)
+        journalled = sweep(
+            layers, journal_path=tmp_path / "sweep.jsonl", **self.GRID
+        )
+        assert len(journalled) == len(plain)
+        for a, b in zip(plain, journalled):
+            assert a.label == b.label
+            assert a.area_mm2 == b.area_mm2
+            assert a.frames_per_second == b.frames_per_second
+
+    def test_resume_skips_completed_points(self, tmp_path, monkeypatch):
+        layers = cnn4_shapes(32)
+        journal = tmp_path / "sweep.jsonl"
+        first = sweep(layers, journal_path=journal, **self.GRID)
+
+        # Relaunch with the journal intact: no point is re-simulated.
+        # (importlib: the package re-exports the sweep *function* under
+        # the same name, shadowing the submodule attribute.)
+        import importlib
+
+        sweep_mod = importlib.import_module("repro.arch.sweep")
+
+        def boom(job):
+            raise AssertionError("journalled point was re-evaluated")
+
+        monkeypatch.setattr(sweep_mod, "_evaluate_point", boom)
+        resumed = sweep(layers, journal_path=journal, **self.GRID)
+        assert [p.label for p in resumed] == [p.label for p in first]
+        assert [p.area_mm2 for p in resumed] == [p.area_mm2 for p in first]
+
+    def test_torn_trailing_record_tolerated(self, tmp_path):
+        layers = cnn4_shapes(32)
+        journal = tmp_path / "sweep.jsonl"
+        full = sweep(layers, journal_path=journal, **self.GRID)
+        # Simulate a crash mid-append: truncate the last record in half.
+        lines = journal.read_text().splitlines(keepends=True)
+        torn = "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2]
+        journal.write_text(torn)
+        from repro.arch.geo import GEO_ULP
+
+        completed = read_sweep_journal(journal, GEO_ULP)
+        assert len(completed) == len(full) - 1
+        # The resumed sweep re-evaluates only the torn point and still
+        # returns the full deterministic grid.
+        resumed = sweep(layers, journal_path=journal, **self.GRID)
+        assert [p.label for p in resumed] == [p.label for p in full]
+        assert [p.area_mm2 for p in resumed] == [p.area_mm2 for p in full]
+
+    def test_journal_base_mismatch_rejected(self, tmp_path):
+        from repro.arch.geo import GEO_LP, GEO_ULP
+
+        layers = cnn4_shapes(32)
+        journal = tmp_path / "sweep.jsonl"
+        sweep(layers, journal_path=journal, base=GEO_ULP, **self.GRID)
+        with pytest.raises(ConfigurationError, match="base"):
+            sweep(layers, journal_path=journal, base=GEO_LP, **self.GRID)
