@@ -1,6 +1,20 @@
 """Entry point shared by ``python -m repro.analysis`` and
-``geo-repro lint``: run the invariant rules, print the text report,
-optionally write the JSON report, exit non-zero on findings."""
+``geo-repro lint``.
+
+Contract (scripted callers depend on it):
+
+* **exit codes** — ``0`` clean tree, ``1`` findings, ``2`` usage error
+  (unknown rule code, nonexistent path, bad flags). Baselined deep
+  findings do *not* fail the run; new ones do.
+* **--json** is honored uniformly: every mode that produces a report
+  can write it (``-`` streams the JSON to stdout *instead of* the text
+  rendering, so the output stays one parseable document).
+* **paths** are resolved against the current directory first, then the
+  repository root — ``geo-repro lint src`` works from any subdirectory.
+* **--deep** adds the whole-program passes (RPR101 races, RPR102 lock
+  order, RPR103 determinism taint) on top of the per-file rules, with
+  the committed-baseline ratchet (``--baseline``/``--update-baseline``).
+"""
 
 from __future__ import annotations
 
@@ -11,6 +25,37 @@ from pathlib import Path
 from repro.analysis.core import run_paths
 from repro.analysis.report import render_json, render_rule_table, render_text
 
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def repo_root() -> Path:
+    """The repository root (the directory holding ``src/``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def resolve_paths(raw: list[str], root: Path | None = None) -> list[Path]:
+    """Resolve CLI path args: cwd first, then the repo root.
+
+    Raises FileNotFoundError (→ exit 2) when a path exists in neither.
+    """
+    root = root if root is not None else repo_root()
+    resolved: list[Path] = []
+    for item in raw:
+        candidate = Path(item)
+        if candidate.exists():
+            resolved.append(candidate)
+            continue
+        fallback = root / item
+        if not candidate.is_absolute() and fallback.exists():
+            resolved.append(fallback)
+            continue
+        raise FileNotFoundError(
+            f"path not found (tried {candidate} and {fallback}): {item}"
+        )
+    return resolved
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -18,14 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-invariant linter for the GEO reproduction "
             "(seeded randomness, clock discipline, lock guards, "
-            "__all__ and to_dict/from_dict parity)."
+            "__all__ and to_dict/from_dict parity; --deep adds "
+            "whole-program race, lock-order, and determinism-taint "
+            "analysis)."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
-        help="files or directories to scan (default: src)",
+        help="files or directories to scan, resolved against the "
+        "current directory then the repo root (default: src)",
     )
     parser.add_argument(
         "--select",
@@ -38,7 +86,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         dest="json_path",
-        help="also write the machine-readable report to PATH",
+        help="write the machine-readable report to PATH "
+        "('-' = stdout, replacing the text rendering)",
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program flow passes "
+        "(RPR101/RPR102/RPR103) with the committed baseline ratchet",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="deep-findings baseline file "
+        "(default: FLOW_BASELINE.json at the repo root; "
+        "'none' disables the baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current deep findings "
+        "and exit clean",
     )
     parser.add_argument(
         "--list-rules",
@@ -48,31 +117,84 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run(
-    paths: list[str],
-    select: str | None = None,
-    json_path: str | None = None,
-) -> int:
-    """Shared runner; returns the process exit code (0 = clean tree)."""
-    codes = (
-        [c.strip() for c in select.split(",") if c.strip()] if select else None
-    )
-    report = run_paths(paths, select=codes)
+def _emit(report, json_path: str | None) -> None:
+    if json_path == "-":
+        print(render_json(report))
+        return
     print(render_text(report))
     if json_path is not None:
         out = Path(json_path)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(render_json(report) + "\n", encoding="utf-8")
         print(f"wrote {out}")
-    return 0 if report.ok else 1
+
+
+def _baseline_path(baseline: str | None, root: Path) -> Path | None:
+    from repro.analysis.flow import DEFAULT_BASELINE_NAME
+
+    if baseline is None:
+        return root / DEFAULT_BASELINE_NAME
+    if baseline.lower() == "none":
+        return None
+    path = Path(baseline)
+    return path if path.is_absolute() else Path.cwd() / path
+
+
+def run(
+    paths: list[str],
+    select: str | None = None,
+    json_path: str | None = None,
+    deep: bool = False,
+    baseline: str | None = None,
+    update_baseline: bool = False,
+) -> int:
+    """Shared runner; returns the process exit code."""
+    codes = (
+        [c.strip() for c in select.split(",") if c.strip()] if select else None
+    )
+    root = repo_root()
+    try:
+        targets = resolve_paths(paths, root)
+        if deep:
+            from repro.analysis.flow import run_deep
+
+            result = run_deep(
+                targets,
+                select=codes,
+                baseline_path=_baseline_path(baseline, root),
+                update_baseline=update_baseline,
+                root=root,
+            )
+            report = result.report
+        else:
+            if update_baseline or baseline is not None:
+                print(
+                    "error: --baseline/--update-baseline require --deep",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            report = run_paths(targets, select=codes)
+    except (FileNotFoundError, KeyError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return EXIT_USAGE
+    _emit(report, json_path)
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
         print(render_rule_table())
-        return 0
-    return run(args.paths, select=args.select, json_path=args.json_path)
+        return EXIT_CLEAN
+    return run(
+        args.paths,
+        select=args.select,
+        json_path=args.json_path,
+        deep=args.deep,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

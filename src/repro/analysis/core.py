@@ -156,6 +156,10 @@ class AnalysisReport:
     files_scanned: int = 0
     suppressed: int = 0
     rule_codes: list[str] = field(default_factory=list)
+    #: Findings accepted by a committed baseline (deep mode): reported,
+    #: but not counted against ``ok`` — the ratchet only fails on *new*
+    #: findings.
+    baselined: list[Finding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -169,6 +173,7 @@ class AnalysisReport:
             "suppressed": self.suppressed,
             "rules": self.rule_codes,
             "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
         }
 
 
@@ -186,21 +191,33 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             raise FileNotFoundError(f"not a python file or directory: {path}")
 
 
+def parse_file(path: Path) -> FileContext:
+    """Parse one file into a :class:`FileContext` (raises SyntaxError)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(path, source, tree)
+
+
 def run_paths(
     paths: Iterable[str | Path],
     select: Iterable[str] | None = None,
     on_file: Callable[[Path], None] | None = None,
+    contexts: dict[str, FileContext] | None = None,
 ) -> AnalysisReport:
-    """Run the (selected) rules over every python file under ``paths``."""
+    """Run the (selected) rules over every python file under ``paths``.
+
+    When ``contexts`` is given, every successfully parsed file's
+    :class:`FileContext` is recorded there so a second (deep) phase can
+    reuse the parse instead of re-reading the tree.
+    """
     rules = iter_rules(select)
     report = AnalysisReport(rule_codes=[r.code for r in rules])
     for path in iter_python_files(paths):
         if on_file is not None:
             on_file(path)
         report.files_scanned += 1
-        source = path.read_text(encoding="utf-8")
         try:
-            tree = ast.parse(source, filename=str(path))
+            ctx = parse_file(path)
         except SyntaxError as error:
             report.findings.append(
                 Finding(
@@ -212,7 +229,8 @@ def run_paths(
                 )
             )
             continue
-        ctx = FileContext(path, source, tree)
+        if contexts is not None:
+            contexts[str(path)] = ctx
         for rule in rules:
             for finding in rule.check(ctx):
                 if ctx.suppressed(finding):

@@ -1,0 +1,81 @@
+"""Whole-program flow analysis (``geo-repro lint --deep``).
+
+Built on the per-file rule framework in :mod:`repro.analysis.core`:
+the same parse trees feed a project-wide symbol table and call graph
+(:mod:`.symbols`, :mod:`.callgraph`), two interprocedural fixpoints
+(:mod:`.summaries`), and three passes —
+
+=======  ====================  ==========================================
+code     name                  what it proves (or disproves)
+=======  ====================  ==========================================
+RPR101   static-race           guarded attributes are only touched with
+                               their lock held, on every path reachable
+                               from a thread entry point
+RPR102   static-lock-order     the interprocedural acquire-before graph
+                               is acyclic; cross-validated as a superset
+                               of the lockwatch runtime graph
+RPR103   determinism-taint     wall clock / OS entropy / global RNG /
+                               id()-order never flows into checkpoint,
+                               serialize, or SC-replay sinks
+=======  ====================  ==========================================
+
+Findings go through the same inline-suppression machinery as shallow
+rules, then through a committed baseline with a ratchet
+(:mod:`.baseline`): baselined debt warns, anything new fails.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow import lockorder, races, taint
+from repro.analysis.flow.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.flow.callgraph import FlowProgram, build_program
+from repro.analysis.flow.lockorder import (
+    LockOrderGraph,
+    build_graph,
+    verify_runtime_edges,
+)
+from repro.analysis.flow.runner import DEEP_CODES, DeepResult, run_deep
+from repro.analysis.flow.summaries import held_on_entry, may_acquire
+from repro.analysis.flow.symbols import (
+    LockKey,
+    SymbolTable,
+    build_symbol_table,
+)
+
+#: (code, name, summary) rows for ``--list-rules``.
+DEEP_PASSES = (
+    (races.CODE, races.NAME, races.SUMMARY),
+    (lockorder.CODE, lockorder.NAME, lockorder.SUMMARY),
+    (taint.CODE, taint.NAME, taint.SUMMARY),
+)
+
+__all__ = [
+    "DEEP_CODES",
+    "DEEP_PASSES",
+    "DEFAULT_BASELINE_NAME",
+    "DeepResult",
+    "FlowProgram",
+    "LockKey",
+    "LockOrderGraph",
+    "SymbolTable",
+    "apply_baseline",
+    "build_graph",
+    "build_program",
+    "build_symbol_table",
+    "fingerprint",
+    "held_on_entry",
+    "load_baseline",
+    "lockorder",
+    "may_acquire",
+    "races",
+    "run_deep",
+    "save_baseline",
+    "taint",
+    "verify_runtime_edges",
+]

@@ -1,0 +1,79 @@
+"""Committed-baseline ratchet for deep findings.
+
+Deep passes land on a codebase with history; some findings are accepted
+debt. The baseline file records those as fingerprints with counts —
+``code|relpath|message`` deliberately **excludes line numbers**, so
+unrelated edits that shift a finding up or down the file neither break
+CI nor silently retire debt. The ratchet:
+
+* a finding whose fingerprint is in the baseline (within its count) is
+  *baselined* — reported separately, exit code stays clean;
+* a new fingerprint, or an extra occurrence of a known one, **fails**;
+* fixing a baselined finding simply leaves the stale entry unused —
+  ``--update-baseline`` rewrites the file from the current findings,
+  shrinking it (the file is committed, so the shrink is reviewed).
+
+Writes go through :func:`repro.utils.atomic.atomic_write_json`: the
+baseline is itself persistent state the repo's own rules police.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.core import Finding
+from repro.utils.atomic import atomic_write_json
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "FLOW_BASELINE.json"
+
+
+def fingerprint(finding: Finding, root: Path) -> str:
+    """Stable identity for a finding: ``code|relpath|message``."""
+    path = Path(finding.path)
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return f"{finding.code}|{rel.as_posix()}|{finding.message}"
+
+
+def load_baseline(path: Path) -> Counter:
+    """fingerprint -> allowed count. Missing file = empty baseline."""
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("entries", {})
+    return Counter({key: int(count) for key, count in entries.items()})
+
+
+def save_baseline(path: Path, findings: list[Finding], root: Path) -> None:
+    counts = Counter(fingerprint(f, root) for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    atomic_write_json(path, payload)
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter, root: Path
+) -> tuple[list[Finding], list[Finding]]:
+    """Split into (new, baselined).
+
+    Occurrences beyond the baselined count for a fingerprint are new:
+    the ratchet only ever tightens.
+    """
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding, root)
+        if budget[key] > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

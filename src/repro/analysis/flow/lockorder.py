@@ -1,0 +1,265 @@
+"""RPR102 — static lock-order graph, cycle detection, runtime cross-check.
+
+The acquired-before relation is extracted **interprocedurally**: an
+edge ``A -> B`` is added when some function acquires ``B`` (lexically)
+while ``A`` is held, or calls — with ``A`` held — a function whose
+:func:`~repro.analysis.flow.summaries.may_acquire` set contains ``B``.
+That is exactly the relation :mod:`repro.analysis.lockwatch` builds at
+runtime from real acquisitions, computed over *all* paths instead of
+the ones the test suite happened to execute. A cycle in the graph is a
+potential ABBA deadlock; lockwatch finds it only if both orders run,
+this pass finds it if both orders exist.
+
+Because both graphs name locks by creation site (``dir/file.py:line``),
+they can be cross-validated: every edge the runtime watcher observed
+between statically declared locks must appear in the static graph —
+the static graph is a **superset** of any observed runtime graph. The
+:func:`verify_runtime_edges` helper performs that check; a CI test runs
+it against a live multi-threaded serving scenario, which guards the
+analyzer itself against resolution regressions (an unresolved call
+silently dropping edges would surface there, not as a missed deadlock
+two releases later).
+
+Per-(class, attribute) lock identity is a sound over-approximation: two
+instances of one class map to one static lock, so instance-disjoint
+cycles (``a._lock -> b._lock`` and ``b._lock -> a._lock`` on different
+pairs) are reported even though a particular interleaving might be
+deadlock-free. Self-edges are ignored for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.core import Finding
+from repro.analysis.flow.callgraph import FlowProgram
+from repro.analysis.flow.summaries import may_acquire
+from repro.analysis.flow.symbols import LockKey, SymbolTable
+
+CODE = "RPR102"
+NAME = "static-lock-order"
+SUMMARY = (
+    "interprocedural acquire-before graph contains a cycle — two code "
+    "paths can acquire the same locks in opposite orders (ABBA)"
+)
+
+
+@dataclass
+class LockOrderGraph:
+    """Acquire-before edges between declared locks."""
+
+    #: (from, to) -> first site that witnessed the edge
+    edges: dict[tuple[LockKey, LockKey], dict] = field(default_factory=dict)
+
+    def add(
+        self,
+        frm: LockKey,
+        to: LockKey,
+        function: str,
+        path: str,
+        line: int,
+        via: str | None = None,
+    ) -> None:
+        if frm == to:
+            return
+        self.edges.setdefault(
+            (frm, to),
+            {"function": function, "path": path, "line": line, "via": via},
+        )
+
+    def successors(self, key: LockKey) -> list[LockKey]:
+        return [to for (frm, to) in self.edges if frm == key]
+
+    def cycles(self) -> list[list[LockKey]]:
+        """One representative cycle per strongly connected component."""
+        adjacency: dict[LockKey, list[LockKey]] = {}
+        for frm, to in self.edges:
+            adjacency.setdefault(frm, []).append(to)
+            adjacency.setdefault(to, [])
+        sccs = _tarjan(adjacency)
+        found = []
+        for component in sccs:
+            if len(component) < 2:
+                continue
+            found.append(_cycle_path(adjacency, component))
+        return found
+
+
+def _tarjan(adjacency: dict) -> list[list]:
+    """Iterative Tarjan SCC (no recursion: the graph spans the repo)."""
+    index: dict = {}
+    low: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    sccs: list[list] = []
+    counter = [0]
+
+    for root in adjacency:
+        if root in index:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(adjacency[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def _cycle_path(adjacency: dict, component: list) -> list:
+    """A concrete cycle inside one SCC, for the finding message."""
+    members = set(component)
+    start = component[0]
+    path = [start]
+    seen = {start}
+    node = start
+    while True:
+        nxt = next(
+            (c for c in adjacency.get(node, ()) if c in members), None
+        )
+        if nxt is None or nxt == start:
+            return path
+        if nxt in seen:
+            return path[path.index(nxt):]
+        path.append(nxt)
+        seen.add(nxt)
+        node = nxt
+
+
+def build_graph(
+    program: FlowProgram,
+    acquire_sets: dict[str, frozenset] | None = None,
+) -> LockOrderGraph:
+    graph = LockOrderGraph()
+    acquire_sets = (
+        acquire_sets if acquire_sets is not None else may_acquire(program)
+    )
+    for qualname, summary in program.summaries.items():
+        path = summary.info.path
+        for event in summary.acquires:
+            for held in event.held:
+                graph.add(
+                    held,
+                    event.key,
+                    qualname,
+                    path,
+                    getattr(event.node, "lineno", 1),
+                )
+        for call in summary.calls:
+            if not call.sync or not call.held:
+                continue
+            for callee in call.callees:
+                for key in acquire_sets.get(callee, ()):
+                    for held in call.held:
+                        graph.add(
+                            held,
+                            key,
+                            qualname,
+                            path,
+                            getattr(call.node, "lineno", 1),
+                            via=callee,
+                        )
+    return graph
+
+
+def check(program: FlowProgram, graph: LockOrderGraph) -> Iterator[Finding]:
+    for cycle in graph.cycles():
+        names = " -> ".join(str(key) for key in cycle + [cycle[0]])
+        witness = graph.edges.get(
+            (cycle[0], cycle[1 % len(cycle)])
+        ) or next(iter(graph.edges.values()))
+        yield Finding(
+            code=CODE,
+            message=(
+                f"lock-order cycle {names}: opposite acquisition orders "
+                "exist on different code paths (potential ABBA "
+                f"deadlock; one witness in {witness['function']}())"
+            ),
+            path=witness["path"],
+            line=witness["line"],
+        )
+
+
+# -- runtime cross-validation --------------------------------------------------
+
+
+def verify_runtime_edges(
+    table: SymbolTable,
+    graph: LockOrderGraph,
+    runtime_edges: "set[tuple[str, str]] | list[tuple[str, str]]",
+) -> dict:
+    """Check static ⊇ runtime over statically-declared lock sites.
+
+    ``runtime_edges`` are ``(first_site, then_site)`` pairs as exported
+    by :meth:`repro.analysis.lockwatch.LockWatcher.edge_sites` — lock
+    names there *are* creation sites. Edges touching a lock the symbol
+    table does not know (stdlib-internal locks, Semaphore/Event inner
+    locks, locks created in test files outside the scanned tree) are
+    reported as ``ignored``; for the rest, a runtime edge missing from
+    the static graph is a resolution bug in the analyzer and lands in
+    ``missing``.
+    """
+    known = table.known_sites()
+    static_pairs = {
+        (frm, to) for (frm, to) in graph.edges
+    }
+    covered: list[tuple[str, str]] = []
+    missing: list[dict] = []
+    ignored: list[tuple[str, str]] = []
+    for first, then in runtime_edges:
+        key_a = known.get(first)
+        key_b = known.get(then)
+        if key_a is None or key_b is None:
+            ignored.append((first, then))
+            continue
+        if key_a == key_b:
+            # Same static lock (two instances, or an RLock re-entry
+            # seen across threads): no static self-edges by design.
+            ignored.append((first, then))
+            continue
+        if (key_a, key_b) in static_pairs:
+            covered.append((first, then))
+        else:
+            missing.append(
+                {
+                    "first": first,
+                    "then": then,
+                    "first_key": str(key_a),
+                    "then_key": str(key_b),
+                }
+            )
+    return {
+        "covered": covered,
+        "missing": missing,
+        "ignored": ignored,
+        "superset": not missing,
+    }

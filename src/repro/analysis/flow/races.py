@@ -1,0 +1,94 @@
+"""RPR101 — interprocedural static race detection.
+
+The per-file rule RPR003 checks *lexical* lock discipline: a guarded
+attribute mutated outside a literal ``with self._lock:`` block, with
+``*_locked`` helpers exempt by naming convention. This pass closes the
+two holes that convention leaves open, using the whole-program facts:
+
+1. **escape / sharing** — only classes whose methods are reachable from
+   a thread entry point (``threading.Thread`` targets, pool
+   ``submit``/``parallel_map`` functions, HTTP handler ``do_*``
+   methods) are checked; a guarded class that never escapes the main
+   thread cannot race, and unsimulated single-thread helpers stay
+   quiet.
+2. **interprocedural domination** — an access is safe when its guard is
+   in the *effective* held set: the lexical ``with`` nesting **plus**
+   :func:`~repro.analysis.flow.summaries.held_on_entry` (locks every
+   known caller holds). A ``*_locked`` helper whose callers all hold
+   the lock passes; one reachable with the lock not held is flagged —
+   the convention becomes a verified contract.
+
+Reads are checked as well as writes: a torn read of a guarded container
+(size-changed-during-iteration, half-updated pair) is exactly the bug
+class the ``# guards:`` annotation promises away. Benign intentionally-
+racy reads (monitoring counters) get an inline suppression with a
+reason, which keeps them visible at the site.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Finding
+from repro.analysis.flow.callgraph import FlowProgram
+from repro.analysis.flow.symbols import LockKey
+
+CODE = "RPR101"
+NAME = "static-race"
+SUMMARY = (
+    "guarded attribute accessed without its lock on a path reachable "
+    "from a thread entry point (interprocedural lock-held analysis)"
+)
+
+#: Construction and pickling run before/outside sharing.
+_EXEMPT_METHODS = {"__init__", "__new__", "__setstate__", "__getstate__"}
+
+
+def check(
+    program: FlowProgram,
+    held_entry: dict[str, frozenset],
+    reachable: set[str],
+) -> Iterator[Finding]:
+    for cls in program.table.classes.values():
+        if not cls.guards:
+            continue
+        if not any(
+            method.qualname in reachable for method in cls.methods.values()
+        ):
+            continue
+        for method in cls.methods.values():
+            if method.name in _EXEMPT_METHODS:
+                continue
+            summary = program.summaries.get(method.qualname)
+            if summary is None:
+                continue
+            entry_held = held_entry.get(method.qualname, frozenset())
+            unverifiable_locked = (
+                method.name.endswith("_locked")
+                and method.qualname not in program.callers
+            )
+            if unverifiable_locked:
+                # No visible caller to verify the convention against;
+                # the lexical rule's exemption stands.
+                continue
+            for event in summary.accesses:
+                lock_attr = cls.guards.get(event.attr)
+                if lock_attr is None:
+                    continue
+                key = LockKey(cls.qualname, lock_attr)
+                if key in event.held or key in entry_held:
+                    continue
+                verb = "mutated" if event.kind == "write" else "read"
+                yield Finding(
+                    code=CODE,
+                    message=(
+                        f"{cls.name}.{event.attr} (guarded by "
+                        f"self.{lock_attr}) is {verb} in "
+                        f"{method.name}() without the lock held on any "
+                        "caller path, and the class is reachable from a "
+                        "thread entry point"
+                    ),
+                    path=cls.path,
+                    line=getattr(event.node, "lineno", method.node.lineno),
+                    col=getattr(event.node, "col_offset", 0),
+                )

@@ -1,0 +1,139 @@
+"""The deep runner: shallow rules + whole-program passes in one report.
+
+``run_deep`` is what ``geo-repro lint --deep`` calls. One parse per
+file, shared between the per-file rules and the symbol table; then the
+three flow passes (RPR101 races, RPR102 lock order, RPR103 taint) run
+over the whole program. Deep findings go through the **same** two
+relief valves as shallow ones, in order:
+
+1. inline ``# repro: noqa-RPR1##`` suppressions on the finding's line
+   (counted in ``report.suppressed``);
+2. the committed baseline (``FLOW_BASELINE.json``): known fingerprints
+   move to ``report.baselined``, anything else stays a finding and
+   fails the run.
+
+The program object is also returned (``DeepResult.program``) so tests
+can cross-validate the static lock-order graph against the runtime
+lockwatch graph without re-parsing the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.analysis.core import (
+    AnalysisReport,
+    FileContext,
+    Finding,
+    RULES,
+    iter_rules,
+    run_paths,
+)
+from repro.analysis.flow import baseline as baseline_mod
+from repro.analysis.flow import lockorder, races, taint
+from repro.analysis.flow.callgraph import FlowProgram, build_program
+from repro.analysis.flow.lockorder import LockOrderGraph, build_graph
+from repro.analysis.flow.summaries import held_on_entry, may_acquire
+from repro.analysis.flow.symbols import build_symbol_table
+
+DEEP_CODES = (races.CODE, lockorder.CODE, taint.CODE)
+
+
+@dataclass
+class DeepResult:
+    """Report plus the analysis artifacts the report was built from."""
+
+    report: AnalysisReport
+    program: FlowProgram
+    lock_graph: LockOrderGraph
+
+
+def _split_select(
+    select: Iterable[str] | None,
+) -> tuple[list[str] | None, set[str]]:
+    """(shallow codes for run_paths, deep codes to run)."""
+    if select is None:
+        return None, set(DEEP_CODES)
+    iter_rules()  # ensure RULES is populated before membership tests
+    shallow: list[str] = []
+    deep: set[str] = set()
+    unknown: set[str] = set()
+    for code in select:
+        if code in DEEP_CODES:
+            deep.add(code)
+        elif code in RULES:
+            shallow.append(code)
+        else:
+            unknown.add(code)
+    if unknown:
+        raise KeyError(
+            f"unknown rule codes {sorted(unknown)} "
+            f"(known: {sorted(RULES) + sorted(DEEP_CODES)})"
+        )
+    return shallow, deep
+
+
+def deep_findings(
+    program: FlowProgram, graph: LockOrderGraph, deep: set[str]
+) -> list[Finding]:
+    found: list[Finding] = []
+    if races.CODE in deep:
+        found.extend(
+            races.check(
+                program,
+                held_entry=held_on_entry(program),
+                reachable=program.thread_reachable(),
+            )
+        )
+    if lockorder.CODE in deep:
+        found.extend(lockorder.check(program, graph))
+    if taint.CODE in deep:
+        found.extend(taint.check(program))
+    return found
+
+
+def run_deep(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    baseline_path: Path | None = None,
+    update_baseline: bool = False,
+    on_file: Callable[[Path], None] | None = None,
+    root: Path | None = None,
+) -> DeepResult:
+    """Shallow rules + flow passes over ``paths``, one shared parse."""
+    root = root if root is not None else Path.cwd()
+    shallow_select, deep = _split_select(select)
+    contexts: dict[str, FileContext] = {}
+    report = run_paths(
+        paths, select=shallow_select, on_file=on_file, contexts=contexts
+    )
+    report.rule_codes = sorted(set(report.rule_codes) | deep)
+
+    table = build_symbol_table(paths, contexts=contexts)
+    program = build_program(table)
+    graph = build_graph(program, acquire_sets=may_acquire(program))
+
+    raw = deep_findings(program, graph, deep)
+    kept: list[Finding] = []
+    for finding in raw:
+        ctx = contexts.get(finding.path)
+        if ctx is not None and ctx.suppressed(finding):
+            report.suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.code, f.col))
+
+    if update_baseline and baseline_path is not None:
+        baseline_mod.save_baseline(baseline_path, kept, root)
+    if baseline_path is not None:
+        known = baseline_mod.load_baseline(baseline_path)
+        new, baselined = baseline_mod.apply_baseline(kept, known, root)
+    else:
+        new, baselined = kept, []
+
+    report.findings.extend(new)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.code, f.col))
+    report.baselined = baselined
+    return DeepResult(report=report, program=program, lock_graph=graph)

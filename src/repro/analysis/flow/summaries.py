@@ -1,0 +1,98 @@
+"""Interprocedural fixpoints over the call graph.
+
+Two dataflow facts feed the passes:
+
+* :func:`may_acquire` — for every function, the set of lock keys it can
+  acquire directly **or through any chain of sync calls**. Union /
+  reachability, grows monotonically to a fixpoint. Async hand-offs
+  (thread targets, pool submissions) are excluded: the target thread
+  acquires those locks, not the calling frame.
+
+* :func:`held_on_entry` — for every function, the set of locks held at
+  *every* known call site (caller's lexical held set ∪ caller's own
+  entry set). This is a meet-over-callers: it starts at ⊤ (all locks)
+  and shrinks, so recursion converges. Three kinds of function are
+  pinned to ∅ (no guarantees): thread entry points (a fresh thread
+  holds nothing), functions with no statically known callers (anyone
+  may call them bare), and **public** functions (no leading underscore
+  — tests and downstream users call those directly, so a lock
+  guarantee that only holds for in-project callers is no guarantee).
+  The result is what makes ``*_locked`` helpers *verifiable* instead of
+  exempt-by-convention: a ``_poll_locked`` whose every caller holds the
+  condition really is safe, and one reachable bare is a finding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.callgraph import FlowProgram
+from repro.analysis.flow.symbols import LockKey
+
+
+def may_acquire(program: FlowProgram) -> dict[str, frozenset]:
+    """qualname -> locks the function may acquire (transitively)."""
+    result: dict[str, set[LockKey]] = {
+        qualname: {event.key for event in summary.acquires}
+        for qualname, summary in program.summaries.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname, summary in program.summaries.items():
+            current = result[qualname]
+            before = len(current)
+            for call in summary.calls:
+                if not call.sync:
+                    continue
+                for callee in call.callees:
+                    current |= result.get(callee, set())
+            if len(current) != before:
+                changed = True
+    return {qualname: frozenset(keys) for qualname, keys in result.items()}
+
+
+def _is_pinned_open(program: FlowProgram, qualname: str) -> bool:
+    """Functions whose entry lock set must be assumed empty."""
+    if qualname in program.entry_qualnames():
+        return True
+    if qualname not in program.callers:
+        return True
+    info = program.summaries[qualname].info
+    # Public surface: callable from tests/users without any lock.
+    if not info.name.startswith("_"):
+        return True
+    # Dunders run from arbitrary interpreter hooks.
+    if info.name.startswith("__") and info.name.endswith("__"):
+        return True
+    return False
+
+
+def held_on_entry(program: FlowProgram) -> dict[str, frozenset]:
+    """qualname -> locks guaranteed held whenever the function runs."""
+    universe = frozenset(
+        event.key
+        for summary in program.summaries.values()
+        for event in summary.acquires
+    )
+    held: dict[str, frozenset] = {}
+    for qualname in program.summaries:
+        if _is_pinned_open(program, qualname):
+            held[qualname] = frozenset()
+        else:
+            held[qualname] = universe
+    changed = True
+    while changed:
+        changed = False
+        for qualname in program.summaries:
+            if _is_pinned_open(program, qualname):
+                continue
+            meet: frozenset | None = None
+            for caller, held_at_site in program.callers.get(qualname, ()):
+                contribution = held.get(caller, frozenset()) | held_at_site
+                meet = (
+                    contribution if meet is None else meet & contribution
+                )
+            meet = meet if meet is not None else frozenset()
+            if meet != held[qualname]:
+                held[qualname] = meet
+                changed = True
+    return held

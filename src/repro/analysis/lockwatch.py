@@ -230,6 +230,46 @@ class LockWatcher:
 
     # -- reporting -----------------------------------------------------------
 
+    def edge_sites(self) -> set[tuple[str, str]]:
+        """Observed acquired-before edges as ``(first_site, then_site)``.
+
+        Lock names *are* creation sites (``dir/file.py:line``), which is
+        the join key the static analyzer's lock-order graph uses: every
+        edge returned here between two statically-declared locks must
+        appear in :func:`repro.analysis.flow.build_graph`'s output (the
+        static graph over-approximates the runtime one). Self-pairs —
+        two distinct locks born on the same source line — are dropped,
+        matching the static per-(class, attr) identity.
+        """
+        with self._lock:
+            pairs = {
+                (self._names.get(frm, "?"), self._names.get(to, "?"))
+                for frm, to in self._edge_info
+            }
+        return {(first, then) for first, then in pairs if first != then}
+
+    def graph(self) -> dict:
+        """JSON-ready export of the acquired-before graph (CI artifact,
+        cross-validation input)."""
+        with self._lock:
+            edges = [
+                {
+                    "first": info["first"],
+                    "then": info["then"],
+                    "thread": info["thread"],
+                }
+                for (_frm, _to), info in sorted(
+                    self._edge_info.items(),
+                    key=lambda item: (
+                        item[1]["first"], item[1]["then"], item[1]["thread"],
+                    ),
+                )
+            ]
+            return {
+                "locks": sorted(set(self._names.values())),
+                "edges": edges,
+            }
+
     def report(self) -> dict:
         with self._lock:
             return {

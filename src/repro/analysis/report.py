@@ -15,15 +15,25 @@ from repro.analysis.core import AnalysisReport, iter_rules
 
 
 def render_text(report: AnalysisReport) -> str:
-    """``path:line:col CODE message`` per finding plus a summary line."""
+    """``path:line:col CODE message`` per finding plus a summary line.
+
+    Baselined findings (deep mode) render with a ``[baselined]`` tag so
+    accepted debt stays visible without failing the run.
+    """
     lines = [
         f"{f.location()} {f.code} {f.message}" for f in report.findings
     ]
+    lines.extend(
+        f"{f.location()} {f.code} [baselined] {f.message}"
+        for f in report.baselined
+    )
     by_code = Counter(f.code for f in report.findings)
     summary = (
         f"{len(report.findings)} finding(s) in {report.files_scanned} "
         f"file(s), {report.suppressed} suppressed"
     )
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
     if by_code:
         breakdown = ", ".join(
             f"{code}: {count}" for code, count in sorted(by_code.items())
@@ -38,8 +48,13 @@ def render_json(report: AnalysisReport) -> str:
 
 
 def render_rule_table() -> str:
-    """The ``--list-rules`` output: one row per registered rule."""
+    """The ``--list-rules`` output: one row per registered rule,
+    shallow per-file rules first, then the deep whole-program passes."""
+    from repro.analysis.flow import DEEP_PASSES
+
     rows = ["code    name                             summary"]
     for rule in iter_rules():
         rows.append(f"{rule.code}  {rule.name:<32} {rule.summary}")
+    for code, name, summary in DEEP_PASSES:
+        rows.append(f"{code}  {name:<32} {summary} (--deep)")
     return "\n".join(rows)

@@ -226,7 +226,7 @@ def sweep(
             results[index] = point
         else:
             pending.append((index, jobs[index]))
-    append_lock = threading.Lock()
+    append_lock = threading.Lock()  # guards: journal
 
     def _evaluate_and_journal(item: tuple[int, tuple]) -> tuple[int, DesignPoint]:
         index, job = item

@@ -571,7 +571,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     lint_group.add_argument(
         "--json", default=None, metavar="PATH", dest="json_path",
-        help="also write the machine-readable lint report to PATH",
+        help="also write the machine-readable lint report to PATH "
+        "('-' = stdout instead of the text rendering)",
+    )
+    lint_group.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program flow passes "
+        "(RPR101 races, RPR102 lock order, RPR103 determinism taint)",
+    )
+    lint_group.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="deep-findings baseline file (default: FLOW_BASELINE.json "
+        "at the repo root; 'none' disables)",
+    )
+    lint_group.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the deep baseline from the current findings",
     )
     args = parser.parse_args(argv)
 
@@ -597,7 +612,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import run as lint_run
 
         return lint_run(
-            args.paths, select=args.select, json_path=args.json_path
+            args.paths,
+            select=args.select,
+            json_path=args.json_path,
+            deep=args.deep,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
         )
 
     if args.profile:

@@ -89,14 +89,15 @@ class Counter:
 
     @property
     def value(self) -> int | float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         with self._lock:
             self._value = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self.name}={self._value} {self.unit})"
+        return f"Counter({self.name}={self.value} {self.unit})"
 
 
 class Gauge:
@@ -119,11 +120,13 @@ class Gauge:
 
     @property
     def value(self) -> int | float:
-        return self._value
+        with self._lock:
+            return self._value
 
     @property
     def max(self) -> int | float:
-        return self._max
+        with self._lock:
+            return self._max
 
     def reset(self) -> None:
         with self._lock:
@@ -131,7 +134,7 @@ class Gauge:
             self._max = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Gauge({self.name}={self._value} {self.unit})"
+        return f"Gauge({self.name}={self.value} {self.unit})"
 
 
 #: Default histogram bucket upper bounds (last bucket is +inf). Powers of
@@ -186,7 +189,8 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def mean(self) -> float:
@@ -254,7 +258,7 @@ class Histogram:
         return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Histogram({self.name}: n={self._count})"
+        return f"Histogram({self.name}: n={self.count})"
 
 
 #: Sample cap per rolling window; oldest samples fall off first so one
@@ -693,16 +697,19 @@ class Registry:
         with self._lock:
             spans = [s.to_dict() for s in self.spans]
             profiles = [dict(p) for p in self.profiles]
+            dropped_spans = self.dropped_spans
+            dropped_profiles = self.dropped_profiles
+            counters = dict(self._counters)
         return {
             "meta": {
                 "enabled": self.enabled,
                 "epoch_wall": self.epoch_wall,
-                "dropped_spans": self.dropped_spans,
-                "dropped_profiles": self.dropped_profiles,
+                "dropped_spans": dropped_spans,
+                "dropped_profiles": dropped_profiles,
             },
             "counters": {
                 name: {"value": c.value, "unit": c.unit}
-                for name, c in dict(self._counters).items()
+                for name, c in counters.items()
             },
             "gauges": self.gauges(),
             "histograms": self.histograms(),

@@ -39,6 +39,7 @@ for bit.
 from __future__ import annotations
 
 import random
+import threading
 
 import numpy as np
 
@@ -50,8 +51,6 @@ from repro.errors import (
 )
 from repro.nn.layers import Module
 from repro.scnn.ckpt import rng_state_dict
-from repro.serve.backend import ProcessPoolBackend
-from repro.serve.registry import ModelEntry
 from repro.utils.chaos import ChaosConfig
 from repro.utils.retry import RetryPolicy, call_with_retry
 
@@ -94,6 +93,13 @@ class MinibatchPool:
         seed: int = 0,
         start_method: str | None = None,
     ):
+        # Imported here, not at module top: repro.serve pulls in
+        # repro.scnn (registry type hints), so a top-level import makes
+        # `import repro.serve` fail on a cold interpreter depending on
+        # which package is imported first.
+        from repro.serve.backend import ProcessPoolBackend
+        from repro.serve.registry import ModelEntry
+
         self.model = model
         self.entry = ModelEntry(
             name=TRAIN_ENTRY_NAME,
@@ -114,6 +120,10 @@ class MinibatchPool:
             "retries": 0,
             "fallbacks": 0,
         }
+        # Training drives sc_values() from one thread, but stats() is
+        # read by monitoring/serving threads while a run is live; the
+        # lock is never held across a pooled batch.
+        self._lock = threading.Lock()  # guards: counters, degraded, _consecutive_failures
         self.backend = ProcessPoolBackend(
             num_workers=num_workers,
             chaos=chaos,
@@ -146,17 +156,19 @@ class MinibatchPool:
         the full model state per batch makes any healthy worker — new,
         old, or freshly respawned — an equally correct executor.
         """
-        self.counters["batches"] += 1
-        if self.degraded:
-            self.counters["fallbacks"] += 1
-            return None
+        with self._lock:
+            self.counters["batches"] += 1
+            if self.degraded:
+                self.counters["fallbacks"] += 1
+                return None
         payload = {
             "model": self.model.state_dict(),
             "rng": rng_state_dict(self.model),
         }
 
         def on_retry(error, attempt, delay):
-            self.counters["retries"] += 1
+            with self._lock:
+                self.counters["retries"] += 1
             obs.counter("train.pool_retries").add(1)
 
         try:
@@ -173,19 +185,20 @@ class MinibatchPool:
                 on_retry=on_retry,
             )
         except RETRYABLE_ERRORS:
-            self._consecutive_failures += 1
-            self.counters["fallbacks"] += 1
+            with self._lock:
+                self._consecutive_failures += 1
+                self.counters["fallbacks"] += 1
+                if self._consecutive_failures >= self.degrade_after:
+                    self.degraded = True
             obs.counter("train.pool_fallbacks").add(1)
-            if self._consecutive_failures >= self.degrade_after:
-                self.degraded = True
             return None
-        self._consecutive_failures = 0
-        self.counters["pooled"] += 1
+        with self._lock:
+            self._consecutive_failures = 0
+            self.counters["pooled"] += 1
         return values
 
     def stats(self) -> dict:
-        return {
-            "degraded": self.degraded,
-            **self.counters,
-            "backend": self.backend.stats(),
-        }
+        with self._lock:
+            snapshot = {"degraded": self.degraded, **self.counters}
+        snapshot["backend"] = self.backend.stats()
+        return snapshot

@@ -355,7 +355,7 @@ class SCConvSimulator:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _state, _call_index
 
     def reconfigure(self, **kwargs) -> None:
         """Update execution knobs (engine, num_workers, batch_chunk) or

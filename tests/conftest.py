@@ -8,10 +8,16 @@ Two duties:
   :mod:`repro.analysis.lockwatch` wrappers are installed *here*, before
   any test module imports the serving stack, so every lock the suites
   construct is tracked. A session-end hook fails the run on recorded
-  lock-order inversions and prints long-hold stalls.
+  lock-order inversions and prints long-hold stalls — and then
+  cross-validates the whole session's acquired-before graph against the
+  static lock-order graph (``repro.analysis.flow``): every observed
+  edge between statically declared locks must already be predicted
+  statically, so a call-resolution regression in the analyzer fails the
+  suite instead of silently shrinking deep-lint coverage.
 """
 
 import warnings
+from pathlib import Path
 
 from repro.analysis import lockwatch
 
@@ -42,3 +48,30 @@ def pytest_sessionfinish(session, exitstatus):
             f"{len(report['long_holds'])} long hold(s)"
         )
     watcher.assert_clean()
+    _assert_static_superset(watcher, terminal)
+
+
+def _assert_static_superset(watcher, terminal):
+    """Static lock-order graph ⊇ the session's observed runtime graph."""
+    from repro.analysis.flow import (
+        build_graph,
+        build_program,
+        build_symbol_table,
+        verify_runtime_edges,
+    )
+
+    src = Path(__file__).resolve().parents[1] / "src"
+    table = build_symbol_table([src])
+    program = build_program(table)
+    graph = build_graph(program)
+    verdict = verify_runtime_edges(table, graph, watcher.edge_sites())
+    if terminal is not None:
+        terminal.write_line(
+            f"lockwatch x static: {len(verdict['covered'])} edge(s) "
+            f"covered, {len(verdict['ignored'])} ignored "
+            f"(undeclared locks), {len(verdict['missing'])} missing"
+        )
+    assert verdict["superset"], (
+        "runtime acquired-before edges missing from the static "
+        f"lock-order graph: {verdict['missing']}"
+    )

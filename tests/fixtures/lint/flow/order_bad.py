@@ -1,0 +1,31 @@
+"""RPR102 true positive: ABBA lock order split across call boundaries.
+
+Neither function nests opposite-order ``with`` blocks lexically — the
+second acquisition happens inside a callee, so only the interprocedural
+acquire-before graph (held set × callee may-acquire) sees the cycle.
+"""
+
+import threading
+
+ALPHA = threading.Lock()
+BETA = threading.Lock()
+
+
+def _take_beta():
+    with BETA:
+        return 1
+
+
+def _take_alpha():
+    with ALPHA:
+        return 2
+
+
+def forward_path():
+    with ALPHA:
+        return _take_beta()
+
+
+def reverse_path():
+    with BETA:
+        return _take_alpha()

@@ -1,0 +1,35 @@
+"""RPR101 true positive: the lexical rule (RPR003) cannot see this.
+
+``_bump_locked`` mutates the guarded counter and is exempt from RPR003
+by the ``*_locked`` naming convention — but its only caller, the public
+``tick()``, does NOT hold the lock, and ``tick`` runs on a spawned
+thread. Only the interprocedural held-on-entry analysis catches the
+broken convention.
+"""
+
+import threading
+
+
+class SharedCounter:
+    def __init__(self):
+        self._count = 0
+        self._lock = threading.Lock()  # guards: _count
+
+    def _bump_locked(self):
+        self._count += 1
+
+    def tick(self):
+        self._bump_locked()
+
+    def snapshot(self):
+        with self._lock:
+            return self._count
+
+    def _loop(self):
+        for _ in range(8):
+            self.tick()
+
+    def run(self):
+        thread = threading.Thread(target=self._loop)
+        thread.start()
+        return thread

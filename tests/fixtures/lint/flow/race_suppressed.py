@@ -1,0 +1,25 @@
+"""RPR101 suppressed: same broken convention as race_bad, silenced at
+the site with a reasoned inline marker (deliberately racy stat read)."""
+
+import threading
+
+
+class LossyCounter:
+    def __init__(self):
+        self._count = 0
+        self._lock = threading.Lock()  # guards: _count
+
+    def _bump_locked(self):
+        self._count += 1  # repro: noqa-RPR101 -- lossy stats counter, drops are acceptable
+
+    def tick(self):
+        self._bump_locked()
+
+    def _loop(self):
+        for _ in range(8):
+            self.tick()
+
+    def run(self):
+        thread = threading.Thread(target=self._loop)
+        thread.start()
+        return thread

@@ -1,0 +1,24 @@
+"""RPR103 true positive: wall clock flows into a persisted payload.
+
+``_stamp`` launders ``time.time()`` through a helper return — invisible
+to the per-file wall-clock rule (this is not a deterministic-module
+path) and to any lexical scan of ``save_run``; the interprocedural
+returns-tainted fixpoint follows it into the atomic-write sink. The
+write itself is atomic, so the per-file persistence rule (RPR006) is
+satisfied — only the flow pass sees the problem.
+"""
+
+import json
+import time
+
+from repro.utils.atomic import atomic_write_text
+
+
+def _stamp():
+    return time.time()
+
+
+def save_run(path, results):
+    payload = {"results": list(results)}
+    payload["finished_at"] = _stamp()
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))
